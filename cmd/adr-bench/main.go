@@ -1,0 +1,262 @@
+// Command adr-bench regenerates the paper's evaluation: Table 1 and every
+// panel of Figures 8 and 9 of "Querying Very Large Multi-dimensional
+// Datasets in ADR" (SC 1999), on the simulated 128-node IBM SP.
+//
+// Usage:
+//
+//	adr-bench                          # everything, paper-scale
+//	adr-bench -exp table1
+//	adr-bench -exp fig8  -scaling fixed
+//	adr-bench -exp fig9a               # comm volume, fixed input
+//	adr-bench -exp fig9d               # computation time, scaled input
+//	adr-bench -quick                   # 1/8-size datasets, 3 proc counts
+//	adr-bench -csv                     # machine-readable output
+//	adr-bench -procs 8,32,128 -seed 7 -accmem 8388608
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"adr/internal/emulator"
+	"adr/internal/experiments"
+	"adr/internal/plan"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1 | fig8 | fig9a | fig9b | fig9c | fig9d | all")
+	scaling := flag.String("scaling", "both", "fig8 scaling: fixed | scaled | both")
+	procsFlag := flag.String("procs", "8,16,32,64,128", "comma-separated processor counts")
+	seed := flag.Int64("seed", 1, "emulator seed")
+	accmem := flag.Int64("accmem", 8<<20, "per-processor accumulator memory (bytes)")
+	quick := flag.Bool("quick", false, "reduced sweep (1/8-size datasets, 3 proc counts)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	hybrid := flag.Bool("hybrid", false, "include the HYBRID strategy (paper future work)")
+	diskBW := flag.Float64("diskbw", 0, "disk bandwidth MB/s (default 10, the SP model)")
+	seekMS := flag.Float64("seekms", -1, "disk positioning cost ms (default 10)")
+	netBW := flag.Float64("netbw", 0, "link bandwidth MB/s per direction (default 110)")
+	latMS := flag.Float64("latms", -1, "per-message latency ms (default 0.5)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Seed = *seed
+	cfg.AccMemBytes = *accmem
+	if !*quick || *procsFlag != "8,16,32,64,128" {
+		procs, err := parseProcs(*procsFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if *quick {
+			// -quick with explicit -procs keeps the shrink factor but uses
+			// the requested counts.
+			cfg.Procs = procs
+		} else {
+			cfg.Procs = procs
+		}
+	}
+	if *hybrid {
+		cfg.Strategies = append(cfg.Strategies, plan.Hybrid)
+	}
+	if *diskBW > 0 {
+		cfg.DiskBWBytes = *diskBW * 1e6
+	}
+	if *seekMS >= 0 {
+		cfg.DiskSeekSec = *seekMS / 1e3
+	}
+	if *netBW > 0 {
+		cfg.NetBWBytes = *netBW * 1e6
+	}
+	if *latMS >= 0 {
+		cfg.NetLatencySec = *latMS / 1e3
+	}
+
+	switch *exp {
+	case "table1":
+		runTable1(cfg)
+	case "fig8":
+		runFig8(cfg, *scaling, *csv)
+	case "fig9a":
+		runFig9(cfg, "a", *csv)
+	case "fig9b":
+		runFig9(cfg, "b", *csv)
+	case "fig9c":
+		runFig9(cfg, "c", *csv)
+	case "fig9d":
+		runFig9(cfg, "d", *csv)
+	case "select":
+		runSelect(cfg)
+	case "plans":
+		runPlans(cfg)
+	case "all":
+		runTable1(cfg)
+		runFig8(cfg, "both", *csv)
+		for _, panel := range []string{"a", "b", "c", "d"} {
+			runFig9(cfg, panel, *csv)
+		}
+		runSelect(cfg)
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+// runPlans prints the structural comparison behind §3's analysis: tiles,
+// ghost allocations, forwarded chunks and repeated retrievals per strategy.
+func runPlans(cfg experiments.Config) {
+	fmt.Println("== Plan structure per strategy (fixed input) ==")
+	fmt.Printf("%-5s %6s %8s %8s %10s %10s %10s\n",
+		"App", "procs", "strat", "tiles", "ghosts", "forwards", "rereads")
+	for _, app := range emulator.Apps {
+		for _, procs := range cfg.Procs {
+			for _, strat := range cfg.Strategies {
+				pt, err := cfg.RunCell(app, strat, procs, experiments.Fixed)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("%-5s %6d %8s %8d %10d %10d %10d\n",
+					app, procs, strat, pt.Tiles, pt.GhostChunks, pt.Forwards, pt.RereadInputs)
+			}
+		}
+	}
+	fmt.Println()
+}
+
+// runSelect exercises the §6 cost-model goal: for every (app, procs) cell,
+// print which strategy the analytic model selects, which one the simulator
+// finds fastest, and the cost of a wrong pick.
+func runSelect(cfg experiments.Config) {
+	fmt.Println("== Strategy selection (paper §6): cost-model pick vs simulated best ==")
+	fmt.Printf("%-5s %6s %10s %10s %14s %12s\n", "App", "procs", "model", "simulated", "chosen-time(s)", "best-time(s)")
+	for _, app := range emulator.Apps {
+		for _, procs := range cfg.Procs {
+			pts := map[plan.Strategy]experiments.Point{}
+			best := plan.FRA
+			for _, strat := range []plan.Strategy{plan.FRA, plan.SRA, plan.DA} {
+				pt, err := cfg.RunCell(app, strat, procs, experiments.Fixed)
+				if err != nil {
+					fatal(err)
+				}
+				pts[strat] = pt
+				if pt.ExecSec < pts[best].ExecSec {
+					best = strat
+				}
+			}
+			chosen, err := cfg.SelectStrategy(app, procs, experiments.Fixed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-5s %6d %10s %10s %14.2f %12.2f\n",
+				app, procs, chosen, best, pts[chosen].ExecSec, pts[best].ExecSec)
+		}
+	}
+	fmt.Println()
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no processor counts")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adr-bench:", err)
+	os.Exit(1)
+}
+
+func runTable1(cfg experiments.Config) {
+	rows, err := cfg.Table1()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("== Table 1: application characteristics (measured from the emulators) ==")
+	fmt.Printf("%-5s %15s %14s %12s %10s %14s %12s %16s\n",
+		"App", "InputChunks", "InputSize", "OutChunks", "OutSize", "AvgFanIn", "AvgFanOut", "I-LR-GC-OH(ms)")
+	for _, r := range rows {
+		fmt.Printf("%-5s %6dK - %4dK %6.1f-%5.1fGB %12d %8.0fMB %6.0f - %5.0f %6.1f - %4.1f %8.0f-%.0f-%.0f-%.0f\n",
+			r.App,
+			r.MinChunks/1000, r.MaxChunks/1000,
+			float64(r.MinBytes)/1e9, float64(r.MaxBytes)/1e9,
+			r.OutChunks, float64(r.OutBytes)/1e6,
+			r.MinFanIn, r.MaxFanIn,
+			r.MinFanOut, r.MaxFanOut,
+			r.CostsMs[0], r.CostsMs[1], r.CostsMs[2], r.CostsMs[3])
+	}
+	fmt.Println()
+}
+
+func runFig8(cfg experiments.Config, which string, csv bool) {
+	for _, sc := range []experiments.Scaling{experiments.Fixed, experiments.Scaled} {
+		if which != "both" && which != sc.String() {
+			continue
+		}
+		fmt.Printf("== Figure 8 (%s input): query execution time (sec) ==\n", sc)
+		for _, app := range emulator.Apps {
+			pts, err := cfg.Sweep(app, sc)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("-- %s --\n", app)
+			if csv {
+				fmt.Print(experiments.CSV(pts))
+			} else {
+				fmt.Print(experiments.FormatTable(pts, func(p experiments.Point) float64 {
+					return p.ExecSec
+				}, "(s)"))
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func runFig9(cfg experiments.Config, panel string, csv bool) {
+	var sc experiments.Scaling
+	var title string
+	var metric func(experiments.Point) float64
+	var unit string
+	switch panel {
+	case "a":
+		sc, title = experiments.Fixed, "Figure 9(a): per-processor communication volume (MB), fixed input"
+		metric = func(p experiments.Point) float64 { return float64(p.MaxCommBytes) / 1e6 }
+		unit = "(MB)"
+	case "b":
+		sc, title = experiments.Scaled, "Figure 9(b): per-processor communication volume (MB), scaled input"
+		metric = func(p experiments.Point) float64 { return float64(p.MaxCommBytes) / 1e6 }
+		unit = "(MB)"
+	case "c":
+		sc, title = experiments.Fixed, "Figure 9(c): per-processor computation time (sec), fixed input"
+		metric = func(p experiments.Point) float64 { return p.MaxComputeSec }
+		unit = "(s)"
+	case "d":
+		sc, title = experiments.Scaled, "Figure 9(d): per-processor computation time (sec), scaled input"
+		metric = func(p experiments.Point) float64 { return p.MaxComputeSec }
+		unit = "(s)"
+	}
+	fmt.Println("== " + title + " ==")
+	for _, app := range emulator.Apps {
+		pts, err := cfg.Sweep(app, sc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("-- %s --\n", app)
+		if csv {
+			fmt.Print(experiments.CSV(pts))
+		} else {
+			fmt.Print(experiments.FormatTable(pts, metric, unit))
+		}
+	}
+	fmt.Println()
+}

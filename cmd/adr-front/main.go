@@ -1,0 +1,44 @@
+// Command adr-front runs the ADR front-end process: it accepts client
+// connections (cmd/adr-query, or anything speaking the newline-delimited
+// JSON protocol), relays each range query to every back-end node's control
+// port, and streams the merged output back to the client.
+//
+//	adr-front -listen :7000 -nodes :7200,:7201,:7202
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"adr/internal/frontend"
+)
+
+func main() {
+	listen := flag.String("listen", ":7000", "client listen address")
+	nodes := flag.String("nodes", "", "comma-separated back-end control addresses (required)")
+	flag.Parse()
+
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "adr-front: -nodes is required")
+		os.Exit(2)
+	}
+	addrs := strings.Split(*nodes, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	srv, err := frontend.Start(*listen, addrs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adr-front:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("adr-front: serving clients on %s, %d back-end nodes\n", srv.Addr(), len(addrs))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}

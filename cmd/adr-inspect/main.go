@@ -1,0 +1,123 @@
+// Command adr-inspect examines a farm directory: the dataset catalog, the
+// per-disk chunk distribution the declustering produced, and per-dataset
+// index statistics. It answers the operational questions ADR's dataset and
+// indexing services raise — is placement balanced, is the index selective —
+// without starting any daemon.
+//
+//	adr-inspect -data /srv/adr
+//	adr-inspect -data /srv/adr -dataset sensor -query 0,50,0,50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"adr/internal/layout"
+	"adr/internal/space"
+)
+
+func main() {
+	dataDir := flag.String("data", "", "farm directory (required)")
+	dataset := flag.String("dataset", "", "inspect one dataset in detail")
+	queryFlag := flag.String("query", "", "probe the index: lox,hix,loy,hiy")
+	flag.Parse()
+	if *dataDir == "" {
+		fatal(fmt.Errorf("-data is required"))
+	}
+	m, datasets, err := layout.LoadManifest(*dataDir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("farm %s: %d nodes x %d disks, %d datasets\n\n",
+		*dataDir, m.Nodes, m.DisksPerNode, len(datasets))
+
+	for _, ds := range datasets {
+		if *dataset != "" && ds.Name != *dataset {
+			continue
+		}
+		describe(ds, m.Nodes*m.DisksPerNode)
+		if *queryFlag != "" {
+			probe(ds, *queryFlag)
+		}
+		fmt.Println()
+	}
+}
+
+func describe(ds *layout.Dataset, ndisks int) {
+	fmt.Printf("dataset %q: space %q %v\n", ds.Name, ds.Space.Name, ds.Space.Bounds)
+	var bytes int64
+	var items int64
+	perDisk := make([]int64, ndisks)
+	perNode := map[int32]int64{}
+	for _, c := range ds.Chunks {
+		bytes += c.Bytes
+		items += int64(c.Items)
+		if int(c.Disk) < ndisks {
+			perDisk[c.Disk] += c.Bytes
+		}
+		perNode[c.Node] += c.Bytes
+	}
+	fmt.Printf("  %d chunks, %d items, %.2f MB\n", len(ds.Chunks), items, float64(bytes)/1e6)
+
+	// Placement balance.
+	var maxDisk, minDisk int64 = 0, 1 << 62
+	used := 0
+	for _, b := range perDisk {
+		if b > 0 {
+			used++
+		}
+		if b > maxDisk {
+			maxDisk = b
+		}
+		if b < minDisk {
+			minDisk = b
+		}
+	}
+	if used > 0 && bytes > 0 {
+		mean := float64(bytes) / float64(used)
+		fmt.Printf("  placement: %d/%d disks used, per-disk %.2f-%.2f MB (max/mean %.2f)\n",
+			used, ndisks, float64(minDisk)/1e6, float64(maxDisk)/1e6, float64(maxDisk)/mean)
+	}
+	fmt.Printf("  index: %d entries\n", ds.Index.Len())
+}
+
+func probe(ds *layout.Dataset, queryFlag string) {
+	parts := strings.Split(queryFlag, ",")
+	vals := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad query value %q", p))
+		}
+		vals[i] = v
+	}
+	if len(vals)%2 != 0 {
+		fatal(fmt.Errorf("query needs lo,hi pairs"))
+	}
+	box := space.R(vals...)
+	sel := ds.Select(box)
+	var bytes int64
+	disks := map[int32]bool{}
+	for _, c := range sel {
+		bytes += c.Bytes
+		disks[c.Disk] = true
+	}
+	fmt.Printf("  query %v: %d chunks, %.2f MB across %d disks (%.0f%% of dataset)\n",
+		box, len(sel), float64(bytes)/1e6, len(disks),
+		100*float64(len(sel))/float64(max(1, len(ds.Chunks))))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adr-inspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command adr-node runs one ADR back-end node daemon: it opens the farm's
+// per-disk stores, loads the shared dataset manifest, joins the TCP mesh of
+// the parallel back-end, and serves query requests from the front-end.
+//
+// A 3-node back-end on one host:
+//
+//	adr-node -id 0 -mesh :7100,:7101,:7102 -control :7200 -data /srv/adr &
+//	adr-node -id 1 -mesh :7100,:7101,:7102 -control :7201 -data /srv/adr &
+//	adr-node -id 2 -mesh :7100,:7101,:7102 -control :7202 -data /srv/adr &
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"adr/internal/backend"
+	"adr/internal/rpc"
+)
+
+func main() {
+	id := flag.Int("id", -1, "this node's id (required)")
+	mesh := flag.String("mesh", "", "comma-separated mesh addresses for all nodes (required)")
+	control := flag.String("control", "", "control listen address for the front-end (required)")
+	dataDir := flag.String("data", "", "farm directory (required)")
+	accmem := flag.Int64("accmem", 0, "per-node accumulator memory bytes (default 8 MiB)")
+	flag.Parse()
+
+	if *id < 0 || *mesh == "" || *control == "" || *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "adr-node: -id, -mesh, -control and -data are required")
+		os.Exit(2)
+	}
+	addrs := strings.Split(*mesh, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	if *id >= len(addrs) {
+		fmt.Fprintf(os.Stderr, "adr-node: id %d outside mesh of %d nodes\n", *id, len(addrs))
+		os.Exit(2)
+	}
+
+	srv, err := backend.Start(backend.Config{
+		Node:        rpc.NodeID(*id),
+		MeshAddrs:   addrs,
+		ControlAddr: *control,
+		DataDir:     *dataDir,
+		AccMemBytes: *accmem,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adr-node:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("adr-node %d: mesh up (%d nodes), control on %s\n", *id, len(addrs), srv.ControlAddr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("adr-node: shutting down")
+	srv.Close()
+}

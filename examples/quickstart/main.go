@@ -1,0 +1,105 @@
+// Quickstart: the smallest complete ADR application.
+//
+// A 2-D field of temperature sensor readings is loaded into a 4-node
+// repository, and one range query computes the mean temperature per cell of
+// a coarse output raster — the Fig 1 processing loop with Initialize = zero
+// cells, Map = identity, Aggregate = running sum, Output = sum/count.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"adr"
+)
+
+func main() {
+	// An in-process ADR instance: 4 back-end nodes, 1 in-memory disk each.
+	repo, err := adr.NewRepository(adr.Options{Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+
+	// Synthesize 50,000 temperature readings over a 100x100 km region:
+	// a smooth north-south gradient plus noise.
+	rng := rand.New(rand.NewSource(42))
+	region := adr.R(0, 100, 0, 100)
+	var items []adr.Item
+	for i := 0; i < 50000; i++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		temp := 10 + 15*math.Sin(y/100*math.Pi) + rng.NormFloat64()
+		items = append(items, adr.Item{
+			Coord: adr.Pt(x, y),
+			Value: adr.EncodeValue(adr.FixedPoint(temp)),
+		})
+	}
+
+	// Load: partition into 16x16 chunks, decluster across the disk farm,
+	// index the chunk MBRs.
+	inGrid, err := adr.NewGrid(region, 16, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chunks, err := adr.PartitionGrid(items, inGrid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := repo.LoadDataset("readings", adr.AttrSpace{Name: "region", Bounds: region}, chunks); err != nil {
+		log.Fatal(err)
+	}
+
+	// Declare the output raster: 4x4 output chunks over the same region.
+	outGrid, err := adr.NewGrid(region, 4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := repo.LoadDataset("meantemp", adr.AttrSpace{Name: "raster", Bounds: region}, adr.GridChunks(outGrid)); err != nil {
+		log.Fatal(err)
+	}
+
+	// One range query: mean temperature at 2x2 cells per output chunk
+	// (an 8x8 result raster), over the southern half of the region.
+	res, err := repo.Execute(context.Background(), &adr.Query{
+		Input:     "readings",
+		Output:    "meantemp",
+		OutputBox: adr.R(0, 100, 0, 49),
+		Strategy:  adr.FRA,
+		App:       &adr.RasterApp{Op: adr.Mean, CellsPerDim: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("mean temperature (°C) per 12.5 km cell, southern half:")
+	type cell struct{ x, y, t float64 }
+	var cells []cell
+	for _, c := range res.Chunks {
+		for _, it := range c.Items {
+			v, _ := adr.DecodeValue(it.Value)
+			cells = append(cells, cell{it.Coord.Coords[0], it.Coord.Coords[1], adr.FromFixedPoint(v)})
+		}
+	}
+	// Render rows north to south.
+	for y := 43.75; y > 0; y -= 12.5 {
+		fmt.Printf("y=%5.1f ", y)
+		for x := 6.25; x < 100; x += 12.5 {
+			for _, c := range cells {
+				if c.x == x && c.y == y {
+					fmt.Printf("%6.1f", c.t)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	total := res.Report.Total()
+	fmt.Printf("\nplan: %v, %d tiles; read %.1f MB in %d chunks; %d aggregation ops; comm %.1f KB\n",
+		res.Plan.Strategy, res.Plan.NumTiles(),
+		float64(total.BytesRead)/1e6, total.ChunksRead, total.AggOps,
+		float64(total.BytesSent)/1e3)
+}

@@ -1,0 +1,242 @@
+// Package backend implements one ADR back-end node daemon: it joins the TCP
+// mesh of the parallel back-end, loads the shared dataset catalog, and
+// serves query requests from the front-end over a control socket. Every
+// node builds the identical plan deterministically from the shared catalog,
+// so the front-end ships only the query spec — never the plan — exactly as
+// ADR's front-end "relays the range queries to the back-end" (§2.1).
+package backend
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"adr/internal/chunk"
+	"adr/internal/core"
+	"adr/internal/engine"
+	"adr/internal/frontend"
+	"adr/internal/layout"
+	"adr/internal/plan"
+	"adr/internal/rpc"
+	"adr/internal/space"
+)
+
+// Config describes one node daemon.
+type Config struct {
+	// Node is this daemon's id in the mesh.
+	Node rpc.NodeID
+	// MeshAddrs lists every node's mesh listen address, indexed by id.
+	MeshAddrs []string
+	// ControlAddr is the address this node's control socket listens on
+	// (the front-end connects here).
+	ControlAddr string
+	// DataDir is the farm directory (per-disk stores + manifest).
+	DataDir string
+	// AccMemBytes is the planner's per-node accumulator memory (default
+	// core.DefaultAccMemBytes). Must be identical on every node.
+	AccMemBytes int64
+}
+
+// Server is a running node daemon. Concurrent queries share the mesh
+// through an engine.Dispatcher, which demultiplexes traffic by the
+// front-end-assigned query id.
+type Server struct {
+	cfg      Config
+	mesh     *rpc.TCPNode
+	dispatch *engine.Dispatcher
+	farm     *layout.Farm
+	datasets map[string]*layout.Dataset
+	machine  plan.Machine
+	ctrl     net.Listener
+
+	closed  bool
+	closeMu sync.Mutex
+}
+
+// Start opens the farm, loads the catalog, joins the mesh and begins
+// serving control connections.
+func Start(cfg Config) (*Server, error) {
+	if cfg.AccMemBytes <= 0 {
+		cfg.AccMemBytes = core.DefaultAccMemBytes
+	}
+	m, datasets, err := layout.LoadManifest(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	if m.Nodes != len(cfg.MeshAddrs) {
+		return nil, fmt.Errorf("backend: manifest has %d nodes, mesh has %d", m.Nodes, len(cfg.MeshAddrs))
+	}
+	farm, err := layout.OpenFarm(cfg.DataDir, m.Nodes, m.DisksPerNode)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := net.Listen("tcp", cfg.ControlAddr)
+	if err != nil {
+		farm.Close()
+		return nil, fmt.Errorf("backend: control listen: %w", err)
+	}
+	mesh, err := rpc.NewTCPNode(cfg.Node, cfg.MeshAddrs, rpc.TCPOptions{})
+	if err != nil {
+		ctrl.Close()
+		farm.Close()
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		mesh:     mesh,
+		dispatch: engine.NewDispatcher(mesh),
+		farm:     farm,
+		machine:  plan.Machine{Procs: m.Nodes, AccMemBytes: cfg.AccMemBytes},
+		ctrl:     ctrl,
+	}
+	s.datasets = make(map[string]*layout.Dataset, len(datasets))
+	for _, ds := range datasets {
+		s.datasets[ds.Name] = ds
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// ControlAddr returns the bound control address.
+func (s *Server) ControlAddr() string { return s.ctrl.Addr().String() }
+
+// Close shuts the daemon down.
+func (s *Server) Close() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	s.ctrl.Close()
+	s.dispatch.Close()
+	return s.farm.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ctrl.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.handle(conn)
+	}
+}
+
+// handle serves one control connection: one query request, a stream of this
+// node's output chunks, then a done frame. Queries on different connections
+// run concurrently; the dispatcher keeps their mesh traffic apart.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var req frontend.NodeRequest
+	if err := frontend.ReadJSON(r, &req); err != nil {
+		return
+	}
+	sendErr := func(err error) {
+		frontend.WriteJSON(w, &frontend.Message{Type: "error", Error: err.Error()})
+		w.Flush()
+	}
+
+	start := time.Now()
+	snap, chunks, err := s.runQuery(&req, w)
+	if err != nil {
+		sendErr(err)
+		return
+	}
+	frontend.WriteJSON(w, &frontend.Message{Type: "done", Stats: &frontend.DoneStats{
+		Node:       int(s.cfg.Node),
+		Chunks:     chunks,
+		BytesRead:  snap.BytesRead,
+		BytesSent:  snap.BytesSent,
+		BytesRecv:  snap.BytesRecv,
+		AggOps:     snap.AggOps,
+		ElapsedMS:  time.Since(start).Milliseconds(),
+		TotalNodes: s.machine.Procs,
+	}})
+	w.Flush()
+}
+
+// runQuery plans and executes the query on this node, streaming owned
+// output chunks to w.
+func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (snap engineSnapshot, chunks int, err error) {
+	spec := &req.Spec
+	in, ok := s.datasets[spec.Input]
+	if !ok {
+		return snap, 0, fmt.Errorf("backend: input dataset %q not in catalog", spec.Input)
+	}
+	out, ok := s.datasets[spec.Output]
+	if !ok {
+		return snap, 0, fmt.Errorf("backend: output dataset %q not in catalog", spec.Output)
+	}
+	inBox, err := frontend.ParseBox(spec.InputBox)
+	if err != nil {
+		return snap, 0, err
+	}
+	outBox, err := frontend.ParseBox(spec.OutputBox)
+	if err != nil {
+		return snap, 0, err
+	}
+	strategy, err := spec.ParseStrategy()
+	if err != nil {
+		return snap, 0, err
+	}
+	app, err := spec.App.Build()
+	if err != nil {
+		return snap, 0, err
+	}
+
+	workload, err := core.BuildWorkload(in, out, inBox, outBox, space.IdentityMapper{})
+	if err != nil {
+		return snap, 0, err
+	}
+	planner, err := plan.NewPlanner(s.machine)
+	if err != nil {
+		return snap, 0, err
+	}
+	p, err := planner.Plan(strategy, workload)
+	if err != nil {
+		return snap, 0, err
+	}
+
+	var streamMu sync.Mutex
+	cfg := engine.Config{
+		Plan:          p,
+		Workload:      workload,
+		App:           app,
+		InputDataset:  spec.Input,
+		OutputDataset: spec.Output,
+		ResultDataset: spec.ResultDataset,
+		OnResult: func(node rpc.NodeID, c *chunk.Chunk) error {
+			streamMu.Lock()
+			defer streamMu.Unlock()
+			chunks++
+			return frontend.WriteJSON(w, &frontend.Message{Type: "chunk", Chunk: frontend.ToChunkJSON(c)})
+		},
+	}
+	st := engine.FarmStorage{Farm: s.farm}
+	ep := s.dispatch.Endpoint(req.QueryID)
+	defer s.dispatch.Release(req.QueryID)
+	m, err := engine.RunNode(context.Background(), cfg, ep, st)
+	if err != nil {
+		return snap, chunks, err
+	}
+	streamMu.Lock()
+	w.Flush()
+	streamMu.Unlock()
+	return engineSnapshot{
+		BytesRead: m.BytesRead,
+		BytesSent: m.BytesSent,
+		BytesRecv: m.BytesRecv,
+		AggOps:    m.AggOps,
+	}, chunks, nil
+}
+
+type engineSnapshot struct {
+	BytesRead, BytesSent, BytesRecv, AggOps int64
+}

@@ -1,0 +1,84 @@
+// Package chunk defines ADR's unit of storage, I/O and communication.
+//
+// ADR expects each dataset to be partitioned into data chunks, each chunk
+// consisting of one or more data items from the same dataset (paper §2.1,
+// dataset service). A chunk is always retrieved as a whole during query
+// processing, and every chunk carries a minimum bounding rectangle (MBR)
+// that encompasses the coordinates of all items in the chunk (§2.2).
+package chunk
+
+import (
+	"fmt"
+
+	"adr/internal/space"
+)
+
+// ID identifies a chunk within its dataset. IDs are dense, starting at 0, in
+// dataset load order.
+type ID int32
+
+// Meta is the catalog entry for a chunk: everything the planner and the
+// indexing service need without touching item data. Meta records are small
+// and replicated to every back-end node; item payloads live only on the
+// owning disk.
+type Meta struct {
+	ID      ID
+	Dataset string
+	// MBR encompasses the coordinates of all items in the chunk, in the
+	// dataset's attribute space.
+	MBR space.Rect
+	// Bytes is the size of the chunk's encoded payload. It is the quantity
+	// every I/O and communication volume figure in the paper counts.
+	Bytes int64
+	// Items is the number of data items in the chunk.
+	Items int32
+	// Disk is the global disk the chunk is placed on; Node is the back-end
+	// processor that disk is attached to. Each chunk is assigned to a single
+	// disk and is read/written during query processing only by the local
+	// processor (§2.2).
+	Disk int32
+	Node int32
+}
+
+// Item is one data item: a point in the dataset's attribute space plus an
+// opaque payload interpreted by the application's user-defined functions.
+type Item struct {
+	Coord space.Point
+	Value []byte
+}
+
+// Chunk is a materialized chunk: its catalog entry plus item data.
+type Chunk struct {
+	Meta  Meta
+	Items []Item
+}
+
+// ComputeMBR returns the MBR of the chunk's items. It is what the loader
+// stores in Meta.MBR; an empty chunk yields the empty Rect.
+func ComputeMBR(items []Item) space.Rect {
+	var r space.Rect
+	for i, it := range items {
+		if i == 0 {
+			r = space.RectFromPoints(it.Coord)
+			continue
+		}
+		r = r.Expand(it.Coord)
+	}
+	return r
+}
+
+// Validate checks internal consistency of a materialized chunk: the recorded
+// MBR must contain every item and the item count must match.
+func (c *Chunk) Validate() error {
+	if int(c.Meta.Items) != len(c.Items) {
+		return fmt.Errorf("chunk %s/%d: meta says %d items, have %d",
+			c.Meta.Dataset, c.Meta.ID, c.Meta.Items, len(c.Items))
+	}
+	for i, it := range c.Items {
+		if len(c.Items) > 0 && !c.Meta.MBR.Contains(it.Coord) {
+			return fmt.Errorf("chunk %s/%d: item %d at %v outside MBR %v",
+				c.Meta.Dataset, c.Meta.ID, i, it.Coord, c.Meta.MBR)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"adr/internal/space"
+)
+
+// Binary wire/disk format for chunks. The same encoding is used for the
+// on-disk chunk store and for interprocessor transfer over the RPC layer, so
+// a chunk read from disk can be forwarded to a remote processor without
+// re-encoding (the zero-copy behaviour §2.4 motivates: processing operations
+// access the buffer holding data arriving from disk).
+//
+// Layout (little endian):
+//
+//	magic     uint32  'ADRC'
+//	version   uint8   1
+//	dims      uint8   attribute space dimensionality
+//	id        int32
+//	disk      int32
+//	node      int32
+//	items     int32
+//	dsLen     uint16, dataset name bytes
+//	mbr       2*dims float64 (lo..., hi...)
+//	per item: dims float64 coords, uint32 value length, value bytes
+const (
+	magic   = 0x41445243 // "ADRC"
+	version = 1
+)
+
+// ErrCorrupt is wrapped by decode errors caused by malformed input.
+var ErrCorrupt = fmt.Errorf("chunk: corrupt encoding")
+
+// Encode serializes the chunk. The returned buffer's length becomes the
+// chunk's payload size.
+func Encode(c *Chunk) []byte {
+	dims := c.Meta.MBR.Dims
+	size := 4 + 1 + 1 + 4 + 4 + 4 + 4 + 2 + len(c.Meta.Dataset) + 16*dims
+	for _, it := range c.Items {
+		size += 8*dims + 4 + len(it.Value)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, magic)
+	buf = append(buf, version, byte(dims))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Meta.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Meta.Disk))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Meta.Node))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Items)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.Meta.Dataset)))
+	buf = append(buf, c.Meta.Dataset...)
+	for d := 0; d < dims; d++ {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Meta.MBR.Lo[d]))
+	}
+	for d := 0; d < dims; d++ {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Meta.MBR.Hi[d]))
+	}
+	for _, it := range c.Items {
+		for d := 0; d < dims; d++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(it.Coord.Coords[d]))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(it.Value)))
+		buf = append(buf, it.Value...)
+	}
+	return buf
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) need(n int) error {
+	if r.off+n > len(r.buf) {
+		return fmt.Errorf("%w: need %d bytes at offset %d, have %d", ErrCorrupt, n, r.off, len(r.buf))
+	}
+	return nil
+}
+
+func (r *reader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) f64() (float64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if err := r.need(n); err != nil {
+		return nil, err
+	}
+	v := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v, nil
+}
+
+// Decode parses a chunk encoded by Encode. Item values alias the input
+// buffer; callers that mutate payloads must copy first.
+func Decode(buf []byte) (*Chunk, error) {
+	r := &reader{buf: buf}
+	m, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, m)
+	}
+	ver, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	}
+	dims8, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	dims := int(dims8)
+	if dims == 0 || dims > space.MaxDims {
+		return nil, fmt.Errorf("%w: dims %d out of range", ErrCorrupt, dims)
+	}
+	var c Chunk
+	id, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	c.Meta.ID = ID(int32(id))
+	disk, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	c.Meta.Disk = int32(disk)
+	node, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	c.Meta.Node = int32(node)
+	nitems, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	dsLen, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := r.bytes(int(dsLen))
+	if err != nil {
+		return nil, err
+	}
+	c.Meta.Dataset = string(ds)
+	c.Meta.MBR.Dims = dims
+	for d := 0; d < dims; d++ {
+		if c.Meta.MBR.Lo[d], err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	for d := 0; d < dims; d++ {
+		if c.Meta.MBR.Hi[d], err = r.f64(); err != nil {
+			return nil, err
+		}
+	}
+	if nitems > uint32(len(buf)) {
+		return nil, fmt.Errorf("%w: item count %d exceeds buffer", ErrCorrupt, nitems)
+	}
+	c.Items = make([]Item, 0, nitems)
+	for i := uint32(0); i < nitems; i++ {
+		var it Item
+		it.Coord.Dims = dims
+		for d := 0; d < dims; d++ {
+			if it.Coord.Coords[d], err = r.f64(); err != nil {
+				return nil, err
+			}
+		}
+		vlen, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if it.Value, err = r.bytes(int(vlen)); err != nil {
+			return nil, err
+		}
+		c.Items = append(c.Items, it)
+	}
+	c.Meta.Items = int32(nitems)
+	c.Meta.Bytes = int64(r.off)
+	return &c, nil
+}

@@ -1,0 +1,358 @@
+// Package core is the orchestration layer of ADR: a Repository owns the
+// attribute space registry, the disk farm, the dataset catalog and the
+// machine description, and drives a range query through index lookup,
+// workload construction, query planning and parallel execution — the
+// pipeline the paper's front-end/back-end split implements (Fig 2).
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"adr/internal/chunk"
+	"adr/internal/engine"
+	"adr/internal/layout"
+	"adr/internal/plan"
+	"adr/internal/rpc"
+	"adr/internal/space"
+)
+
+// Options configures a Repository.
+type Options struct {
+	// Nodes is the number of back-end processors (>= 1).
+	Nodes int
+	// DisksPerNode is the number of disks attached to each node (default 1,
+	// matching the paper's SP configuration).
+	DisksPerNode int
+	// AccMemBytes is per-node accumulator memory for tiling (default 8 MiB,
+	// the DESIGN.md machine model).
+	AccMemBytes int64
+	// StoreDir, when non-empty, backs each disk with a FileStore under
+	// StoreDir/disk<N>; otherwise disks are in-memory. Callers needing a
+	// custom declustering algorithm drive layout.Loader directly and
+	// RegisterDataset the result.
+	StoreDir string
+}
+
+// DefaultAccMemBytes is the per-processor accumulator memory used when the
+// caller does not choose one: 8 MiB, which makes the paper's output dataset
+// sizes span several tiles under FRA while DA fits in one — the regime §3
+// analyses.
+const DefaultAccMemBytes = 8 << 20
+
+// Repository is an in-process ADR instance: a parallel back-end of Nodes
+// goroutine groups connected by the inproc RPC fabric.
+type Repository struct {
+	registry *space.Registry
+	farm     *layout.Farm
+	machine  plan.Machine
+
+	mu       sync.RWMutex
+	datasets map[string]*layout.Dataset
+}
+
+// NewRepository builds a repository.
+func NewRepository(opts Options) (*Repository, error) {
+	if opts.Nodes < 1 {
+		return nil, fmt.Errorf("core: repository needs >= 1 node")
+	}
+	if opts.DisksPerNode < 1 {
+		opts.DisksPerNode = 1
+	}
+	if opts.AccMemBytes <= 0 {
+		opts.AccMemBytes = DefaultAccMemBytes
+	}
+	var farm *layout.Farm
+	var err error
+	if opts.StoreDir != "" {
+		farm, err = layout.NewFarm(opts.Nodes, opts.DisksPerNode, func(disk int) (layout.Store, error) {
+			return layout.NewFileStore(fmt.Sprintf("%s/disk%03d", opts.StoreDir, disk))
+		})
+	} else {
+		farm, err = layout.NewMemFarm(opts.Nodes, opts.DisksPerNode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Repository{
+		registry: space.NewRegistry(),
+		farm:     farm,
+		machine:  plan.Machine{Procs: opts.Nodes, AccMemBytes: opts.AccMemBytes},
+		datasets: make(map[string]*layout.Dataset),
+	}, nil
+}
+
+// Registry exposes the attribute space service.
+func (r *Repository) Registry() *space.Registry { return r.registry }
+
+// Farm exposes the disk farm.
+func (r *Repository) Farm() *layout.Farm { return r.farm }
+
+// Machine returns the planner's machine description.
+func (r *Repository) Machine() plan.Machine { return r.machine }
+
+// Close releases the farm.
+func (r *Repository) Close() error { return r.farm.Close() }
+
+// LoadDataset runs the §2.2 loading pipeline and catalogs the dataset. The
+// attribute space is registered on first use.
+func (r *Repository) LoadDataset(name string, sp space.AttrSpace, chunks []*chunk.Chunk) (*layout.Dataset, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.datasets[name]; ok {
+		return nil, fmt.Errorf("core: dataset %q already loaded", name)
+	}
+	if _, ok := r.registry.Lookup(sp.Name); !ok {
+		if err := r.registry.Register(sp); err != nil {
+			return nil, err
+		}
+	}
+	loader := &layout.Loader{Farm: r.farm}
+	ds, err := loader.Load(name, sp, chunks)
+	if err != nil {
+		return nil, err
+	}
+	r.datasets[name] = ds
+	return ds, nil
+}
+
+// RegisterDataset catalogs a dataset whose chunks are already resident on
+// the farm (used by the back-end daemon, which loads from a shared
+// manifest).
+func (r *Repository) RegisterDataset(ds *layout.Dataset) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.datasets[ds.Name]; ok {
+		return fmt.Errorf("core: dataset %q already loaded", ds.Name)
+	}
+	if _, ok := r.registry.Lookup(ds.Space.Name); !ok {
+		if err := r.registry.Register(ds.Space); err != nil {
+			return err
+		}
+	}
+	r.datasets[ds.Name] = ds
+	return nil
+}
+
+// Dataset looks up a cataloged dataset.
+func (r *Repository) Dataset(name string) (*layout.Dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ds, ok := r.datasets[name]
+	return ds, ok
+}
+
+// DatasetNames returns the catalog in sorted order.
+func (r *Repository) DatasetNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.datasets))
+	for n := range r.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Query is one range query with its user customization.
+type Query struct {
+	// Input and Output name cataloged datasets.
+	Input, Output string
+	// InputBox and OutputBox are the range query in the respective
+	// attribute spaces; an empty Rect selects the whole space.
+	InputBox, OutputBox space.Rect
+	// Mapper projects input-space regions into the output space; nil uses
+	// a mapping registered in the attribute space registry, falling back to
+	// identity when the spaces coincide.
+	Mapper space.RectMapper
+	// Strategy selects the §3 planning strategy.
+	Strategy plan.Strategy
+	// App is the user customization (Initialize/Aggregate/Combine/Output).
+	App engine.App
+	// ResultDataset, when non-empty, writes finished chunks back to the
+	// farm under this name.
+	ResultDataset string
+}
+
+// Result is a completed query.
+type Result struct {
+	// Chunks holds the finished output chunks in output-position order.
+	Chunks []*chunk.Chunk
+	// Plan is the executed plan.
+	Plan *plan.Plan
+	// Workload is the planner input (selected chunks and mapping).
+	Workload *plan.Workload
+	// Report aggregates per-node execution metrics.
+	Report *engine.Report
+}
+
+// resolveMapper picks the query's mapping function.
+func (r *Repository) resolveMapper(q *Query, in, out *layout.Dataset) (space.RectMapper, error) {
+	if q.Mapper != nil {
+		return q.Mapper, nil
+	}
+	if m, ok := r.registry.Mapping(in.Space.Name, out.Space.Name); ok {
+		return m, nil
+	}
+	if in.Space.Name == out.Space.Name || in.Space.Bounds.Dims == out.Space.Bounds.Dims {
+		return space.IdentityMapper{}, nil
+	}
+	return nil, fmt.Errorf("core: no mapping registered %q -> %q", in.Space.Name, out.Space.Name)
+}
+
+// BuildWorkload runs index lookup and chunk-level mapping for a query: the
+// front half of the query planning service.
+func (r *Repository) BuildWorkload(q *Query) (*plan.Workload, error) {
+	in, ok := r.Dataset(q.Input)
+	if !ok {
+		return nil, fmt.Errorf("core: input dataset %q not loaded", q.Input)
+	}
+	out, ok := r.Dataset(q.Output)
+	if !ok {
+		return nil, fmt.Errorf("core: output dataset %q not loaded", q.Output)
+	}
+	mapper, err := r.resolveMapper(q, in, out)
+	if err != nil {
+		return nil, err
+	}
+	return BuildWorkload(in, out, q.InputBox, q.OutputBox, mapper)
+}
+
+// BuildWorkload is the deterministic workload-construction step shared by
+// the in-process repository and the back-end node daemons (every daemon
+// derives the identical workload, and therefore the identical plan, from
+// the shared catalog).
+func BuildWorkload(in, out *layout.Dataset, inBox, outBox space.Rect, mapper space.RectMapper) (*plan.Workload, error) {
+	if mapper == nil {
+		mapper = space.IdentityMapper{}
+	}
+	if inBox.IsEmpty() {
+		inBox = in.Space.Bounds
+	}
+	if outBox.IsEmpty() {
+		outBox = out.Space.Bounds
+	}
+
+	inputs := in.Select(inBox)
+	outputs := out.Select(outBox)
+
+	// Positions of selected outputs, for target translation.
+	outPos := make(map[chunk.ID]int32, len(outputs))
+	for pos, m := range outputs {
+		outPos[m.ID] = int32(pos)
+	}
+	// Re-index the selected outputs for fast intersection: a bulk-loaded
+	// R-tree over the selected subset.
+	outIdx := layout.SubsetIndex(outputs)
+
+	w := &plan.Workload{
+		Inputs:  inputs,
+		Outputs: outputs,
+		Targets: make([][]int32, 0, len(inputs)),
+	}
+	kept := w.Inputs[:0]
+	targets := w.Targets
+	for _, im := range inputs {
+		mapped := mapper.MapRect(im.MBR)
+		var ts []int32
+		if !mapped.IsEmpty() {
+			for _, id := range outIdx.Search(mapped) {
+				if pos, ok := outPos[id]; ok {
+					ts = append(ts, pos)
+				}
+			}
+		}
+		if len(ts) == 0 {
+			// Input chunks projecting to no selected output contribute
+			// nothing; drop them from the workload.
+			continue
+		}
+		sort.Slice(ts, func(a, b int) bool { return ts[a] < ts[b] })
+		kept = append(kept, im)
+		targets = append(targets, ts)
+	}
+	w.Inputs = kept
+	w.Targets = targets
+	return w, nil
+}
+
+// ExecuteBatch runs a set of queries through the back-end in submission
+// order, as ADR's query submission service queues client queries (§2.1;
+// §2.3: the query planning service "determines a query plan to efficiently
+// process a set of queries based on the amount of available resources in
+// the back-end"). Execution stops at the first failure; the returned slice
+// holds results for the queries completed so far.
+func (r *Repository) ExecuteBatch(ctx context.Context, qs []*Query) ([]*Result, error) {
+	results := make([]*Result, 0, len(qs))
+	for i, q := range qs {
+		res, err := r.Execute(ctx, q)
+		if err != nil {
+			return results, fmt.Errorf("core: batch query %d: %w", i, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// Execute plans and runs a query on the in-process back-end.
+func (r *Repository) Execute(ctx context.Context, q *Query) (*Result, error) {
+	if q.App == nil {
+		return nil, fmt.Errorf("core: query needs an App")
+	}
+	w, err := r.BuildWorkload(q)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := plan.NewPlanner(r.machine)
+	if err != nil {
+		return nil, err
+	}
+	p, err := planner.Plan(q.Strategy, w)
+	if err != nil {
+		return nil, err
+	}
+
+	fabric, err := rpc.NewInprocFabric(r.machine.Procs, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer fabric.Close()
+
+	var mu sync.Mutex
+	results := make([]*chunk.Chunk, len(w.Outputs))
+	idToPos := make(map[chunk.ID]int32, len(w.Outputs))
+	for pos, m := range w.Outputs {
+		idToPos[m.ID] = int32(pos)
+	}
+
+	cfg := engine.Config{
+		Plan:          p,
+		Workload:      w,
+		App:           q.App,
+		InputDataset:  q.Input,
+		OutputDataset: q.Output,
+		ResultDataset: q.ResultDataset,
+		OnResult: func(node rpc.NodeID, c *chunk.Chunk) error {
+			mu.Lock()
+			defer mu.Unlock()
+			pos, ok := idToPos[c.Meta.ID]
+			if !ok {
+				return fmt.Errorf("core: result for unknown output chunk %d", c.Meta.ID)
+			}
+			results[pos] = c
+			return nil
+		},
+	}
+	report, err := engine.Run(ctx, cfg, fabric, engine.FarmStorage{Farm: r.farm})
+	if err != nil {
+		return nil, err
+	}
+	for pos, c := range results {
+		if c == nil {
+			return nil, fmt.Errorf("core: output position %d never emitted", pos)
+		}
+	}
+	return &Result{Chunks: results, Plan: p, Workload: w, Report: report}, nil
+}

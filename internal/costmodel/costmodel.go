@@ -1,0 +1,240 @@
+// Package costmodel implements the paper's stated long-term goal (§6):
+// "develop simple but reasonably accurate cost models to guide and automate
+// the selection of an appropriate strategy."
+//
+// The model is analytic — no event simulation. For every tile it accounts
+// each node's demand on its four resources (disks, CPU, outbound and
+// inbound link) exactly as the plan prescribes, and approximates the
+// overlapped execution time of the tile as the per-node maximum of the
+// resource demands (ADR's operation queues keep all resources busy
+// concurrently), taking the slowest node as the tile's makespan. Summing
+// tiles gives the query estimate. Compared to the discrete-event simulator
+// (internal/simadr), the model ignores pipeline-fill latency and transient
+// queueing — the §6 question "under what circumstances do the simple cost
+// models provide accurate or inaccurate results?" is answered empirically
+// by this package's tests and by cmd/adr-bench -exp select.
+package costmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"adr/internal/plan"
+	"adr/internal/simadr"
+)
+
+// Estimate is the model's prediction for one plan.
+type Estimate struct {
+	Strategy plan.Strategy
+	// ExecSec is the predicted query execution time.
+	ExecSec float64
+	// Per-node peak demands (seconds), for diagnosis.
+	MaxDiskSec, MaxCPUSec, MaxNetSec float64
+	// CommBytes is the predicted per-processor maximum communication
+	// volume (send+recv).
+	CommBytes int64
+	// Tiles echoes the plan's tile count.
+	Tiles int
+}
+
+// nodeTileDemand accumulates one node's resource demands within a tile.
+type nodeTileDemand struct {
+	diskSec map[int32]float64 // per local disk
+	cpuSec  float64
+	outSec  float64
+	inSec   float64
+	sent    int64
+	recv    int64
+}
+
+// Predict estimates the execution time of a plan on the modeled machine.
+func Predict(p *plan.Plan, w *plan.Workload, m simadr.Machine, c simadr.Costs) (Estimate, error) {
+	if m.Procs != p.Machine.Procs {
+		return Estimate{}, fmt.Errorf("costmodel: machine has %d procs, plan %d", m.Procs, p.Machine.Procs)
+	}
+	est := Estimate{Strategy: p.Strategy, Tiles: len(p.Tiles)}
+	procs := m.Procs
+	commPerNode := make([]int64, procs)
+
+	readTime := func(bytes int64) float64 { return m.DiskSeekSec + float64(bytes)/m.DiskBWBytes }
+	xferTime := func(bytes int64) float64 { return float64(bytes) / m.NetBWBytes }
+	msgCPU := func(bytes int64) float64 { return float64(bytes) * m.NetCPUSecPerByte }
+
+	for t := range p.Tiles {
+		tile := &p.Tiles[t]
+		// The tile runs in two serialized stages per node: the reduction
+		// stage (initialization, local reads, input forwarding and
+		// aggregation — all overlapped by the operation queues) and the
+		// combine/output stage (ghost exchange, combining, output
+		// handling), which cannot start on a node until its reduction
+		// completes.
+		reduce := make([]nodeTileDemand, procs)
+		combine := make([]nodeTileDemand, procs)
+		for q := range reduce {
+			reduce[q].diskSec = make(map[int32]float64)
+			combine[q].diskSec = make(map[int32]float64)
+		}
+
+		// Allocation sets for aggregation-pair counting.
+		alloc := make([]map[int32]bool, procs)
+		for q := 0; q < procs; q++ {
+			alloc[q] = make(map[int32]bool, len(tile.Locals[q])+len(tile.Ghosts[q]))
+			for _, o := range tile.Locals[q] {
+				alloc[q][o] = true
+			}
+			for _, o := range tile.Ghosts[q] {
+				alloc[q][o] = true
+			}
+			reduce[q].cpuSec += float64(len(alloc[q])) * c.Init
+		}
+
+		pairsAt := func(q int, i int32) int {
+			n := 0
+			for _, o := range w.Targets[i] {
+				if p.TileOf[o] == int32(t) && alloc[q][o] {
+					n++
+				}
+			}
+			return n
+		}
+
+		// Pipeline fill: the first chunk must be read before any
+		// aggregation can overlap it.
+		var fill float64
+
+		// Local reads + local aggregation.
+		for q := 0; q < procs; q++ {
+			for k, i := range tile.Reads[q] {
+				im := w.Inputs[i]
+				rt := readTime(im.Bytes)
+				reduce[q].diskSec[im.Disk] += rt
+				reduce[q].cpuSec += float64(pairsAt(q, i)) * c.LR
+				if k == 0 && rt > fill {
+					fill = rt
+				}
+			}
+		}
+		// Input forwards: sender link+CPU, receiver link+CPU+aggregation.
+		for q := 0; q < procs; q++ {
+			for _, f := range tile.Forwards[q] {
+				bytes := w.Inputs[f.Input].Bytes
+				d := int(f.Dest)
+				reduce[q].outSec += xferTime(bytes)
+				reduce[q].cpuSec += msgCPU(bytes)
+				reduce[q].sent += bytes
+				reduce[d].inSec += xferTime(bytes)
+				reduce[d].cpuSec += msgCPU(bytes) + float64(pairsAt(d, f.Input))*c.LR
+				reduce[d].recv += bytes
+			}
+		}
+		// Ghost exchange: each ghost is sent to its home and combined there.
+		for q := 0; q < procs; q++ {
+			for _, o := range tile.Ghosts[q] {
+				bytes := w.AccSize(o)
+				h := int(p.Home[o])
+				combine[q].outSec += xferTime(bytes)
+				combine[q].cpuSec += msgCPU(bytes)
+				combine[q].sent += bytes
+				combine[h].inSec += xferTime(bytes)
+				combine[h].cpuSec += msgCPU(bytes) + c.GC
+				combine[h].recv += bytes
+			}
+		}
+		// Output handling (+ hybrid shipping to owners).
+		for q := 0; q < procs; q++ {
+			for _, o := range tile.Locals[q] {
+				combine[q].cpuSec += c.OH
+				owner := int(w.Outputs[o].Node)
+				if owner != q {
+					bytes := w.Outputs[o].Bytes
+					combine[q].outSec += xferTime(bytes)
+					combine[q].cpuSec += msgCPU(bytes)
+					combine[q].sent += bytes
+					combine[owner].inSec += xferTime(bytes)
+					combine[owner].cpuSec += msgCPU(bytes)
+					combine[owner].recv += bytes
+				}
+			}
+		}
+
+		// Tile makespan: slowest node per stage, stages serialized, plus
+		// the pipeline fill.
+		stageSec := func(demands []nodeTileDemand) float64 {
+			var worst float64
+			for q := 0; q < procs; q++ {
+				d := &demands[q]
+				var disk float64
+				for _, v := range d.diskSec {
+					if v > disk {
+						disk = v
+					}
+				}
+				nodeSec := disk
+				if d.cpuSec > nodeSec {
+					nodeSec = d.cpuSec
+				}
+				if d.outSec > nodeSec {
+					nodeSec = d.outSec
+				}
+				if d.inSec > nodeSec {
+					nodeSec = d.inSec
+				}
+				if nodeSec > worst {
+					worst = nodeSec
+				}
+				if disk > est.MaxDiskSec {
+					est.MaxDiskSec = disk
+				}
+				if d.cpuSec > est.MaxCPUSec {
+					est.MaxCPUSec = d.cpuSec
+				}
+				if net := d.outSec + d.inSec; net > est.MaxNetSec {
+					est.MaxNetSec = net
+				}
+				commPerNode[q] += d.sent + d.recv
+			}
+			return worst
+		}
+		est.ExecSec += stageSec(reduce) + stageSec(combine) + fill
+	}
+	for _, v := range commPerNode {
+		if v > est.CommBytes {
+			est.CommBytes = v
+		}
+	}
+	return est, nil
+}
+
+// Select plans a workload under every candidate strategy, predicts each,
+// and returns the predicted-fastest plan together with all estimates
+// (sorted fastest first).
+func Select(w *plan.Workload, machine plan.Machine, m simadr.Machine, c simadr.Costs,
+	candidates []plan.Strategy) (*plan.Plan, []Estimate, error) {
+	if len(candidates) == 0 {
+		candidates = []plan.Strategy{plan.FRA, plan.SRA, plan.DA}
+	}
+	planner, err := plan.NewPlanner(machine)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ests []Estimate
+	for _, s := range candidates {
+		p, err := planner.Plan(s, w)
+		if err != nil {
+			return nil, nil, fmt.Errorf("costmodel: plan %v: %w", s, err)
+		}
+		e, err := Predict(p, w, m, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		ests = append(ests, e)
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i].ExecSec < ests[j].ExecSec })
+	// Re-plan the winner (plans are cheap relative to execution and this
+	// keeps the bookkeeping simple).
+	p, err := planner.Plan(ests[0].Strategy, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, ests, nil
+}

@@ -1,0 +1,164 @@
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"adr/internal/emulator"
+	"adr/internal/plan"
+	"adr/internal/simadr"
+)
+
+func scenario(t *testing.T, app emulator.App, procs int, scale float64) *emulator.Scenario {
+	t.Helper()
+	s, err := emulator.Generate(emulator.Params{App: app, Procs: procs, Scale: scale, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func planFor(t *testing.T, s plan.Strategy, w *plan.Workload, procs int) *plan.Plan {
+	t.Helper()
+	pl, err := plan.NewPlanner(plan.Machine{Procs: procs, AccMemBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pl.Plan(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPredictTracksSimulator checks the model's accuracy (§6's "under what
+// circumstances do the simple cost models provide accurate results?"):
+// predictions must be within 40% of the discrete-event simulator across
+// apps, strategies and processor counts. The known inaccuracy regime —
+// documented per the paper's question — is many-tile replicated plans,
+// where the model serializes the reduce and combine stages at a global
+// barrier while ADR overlaps them across nodes (worst observed: FRA on VM,
+// ratio ~1.37); single-tile and distributed plans track within ~15%.
+func TestPredictTracksSimulator(t *testing.T) {
+	for _, app := range emulator.Apps {
+		for _, procs := range []int{8, 32} {
+			s := scenario(t, app, procs, 0.25)
+			m := simadr.DefaultMachine(procs)
+			for _, strat := range []plan.Strategy{plan.FRA, plan.SRA, plan.DA} {
+				p := planFor(t, strat, s.Workload, procs)
+				pred, err := Predict(p, s.Workload, m, s.Costs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := simadr.Simulate(p, s.Workload, simadr.Options{
+					Machine: m, Costs: s.Costs, Overlap: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ratio := pred.ExecSec / res.ExecSec
+				if math.Abs(ratio-1) > 0.40 {
+					t.Errorf("%v/%v/p=%d: predicted %.2fs, simulated %.2fs (ratio %.2f)",
+						app, strat, procs, pred.ExecSec, res.ExecSec, ratio)
+				}
+				// Communication volume is a structural count: must match
+				// the simulator exactly.
+				if pred.CommBytes != res.MaxCommBytes() {
+					t.Errorf("%v/%v/p=%d: predicted comm %d, simulated %d",
+						app, strat, procs, pred.CommBytes, res.MaxCommBytes())
+				}
+			}
+		}
+	}
+}
+
+// TestSelectPicksSimulatedWinner: automated selection must choose a
+// strategy whose simulated time is within 10% of the true best.
+func TestSelectPicksSimulatedWinner(t *testing.T) {
+	cases := []struct {
+		app   emulator.App
+		procs int
+	}{
+		{emulator.SAT, 8}, {emulator.SAT, 32},
+		{emulator.WCS, 8}, {emulator.WCS, 32},
+		{emulator.VM, 8}, {emulator.VM, 32},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%v/p=%d", tc.app, tc.procs), func(t *testing.T) {
+			s := scenario(t, tc.app, tc.procs, 0.25)
+			m := simadr.DefaultMachine(tc.procs)
+			machine := plan.Machine{Procs: tc.procs, AccMemBytes: 8 << 20}
+			chosen, ests, err := Select(s.Workload, machine, m, s.Costs, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ests) != 3 {
+				t.Fatalf("got %d estimates", len(ests))
+			}
+			if chosen.Strategy != ests[0].Strategy {
+				t.Fatalf("chosen %v but fastest estimate is %v", chosen.Strategy, ests[0].Strategy)
+			}
+			// Simulate every strategy; the chosen one must be near-optimal.
+			best := math.Inf(1)
+			times := map[plan.Strategy]float64{}
+			for _, strat := range []plan.Strategy{plan.FRA, plan.SRA, plan.DA} {
+				p := planFor(t, strat, s.Workload, tc.procs)
+				res, err := simadr.Simulate(p, s.Workload, simadr.Options{
+					Machine: m, Costs: s.Costs, Overlap: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				times[strat] = res.ExecSec
+				if res.ExecSec < best {
+					best = res.ExecSec
+				}
+			}
+			if got := times[chosen.Strategy]; got > 1.10*best {
+				t.Errorf("selected %v runs %.2fs, best is %.2fs (%+.0f%%); estimates %+v",
+					chosen.Strategy, got, best, (got/best-1)*100, ests)
+			}
+		})
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	s := scenario(t, emulator.VM, 4, 0.25)
+	p := planFor(t, plan.DA, s.Workload, 4)
+	if _, err := Predict(p, s.Workload, simadr.DefaultMachine(8), s.Costs); err == nil {
+		t.Error("proc mismatch should fail")
+	}
+}
+
+func TestSelectDefaultsCandidates(t *testing.T) {
+	s := scenario(t, emulator.WCS, 4, 0.125)
+	machine := plan.Machine{Procs: 4, AccMemBytes: 8 << 20}
+	_, ests, err := Select(s.Workload, machine, simadr.DefaultMachine(4), s.Costs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ests) != 3 {
+		t.Errorf("default candidates produced %d estimates", len(ests))
+	}
+	for i := 1; i < len(ests); i++ {
+		if ests[i].ExecSec < ests[i-1].ExecSec {
+			t.Error("estimates not sorted fastest-first")
+		}
+	}
+}
+
+func TestEstimateBreakdownPopulated(t *testing.T) {
+	s := scenario(t, emulator.SAT, 8, 0.25)
+	p := planFor(t, plan.FRA, s.Workload, 8)
+	e, err := Predict(p, s.Workload, simadr.DefaultMachine(8), s.Costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.MaxDiskSec <= 0 || e.MaxCPUSec <= 0 || e.MaxNetSec <= 0 || e.Tiles < 1 {
+		t.Errorf("breakdown not populated: %+v", e)
+	}
+	if e.ExecSec < e.MaxCPUSec/float64(e.Tiles) {
+		t.Error("exec below per-tile CPU floor")
+	}
+}

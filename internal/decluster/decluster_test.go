@@ -1,0 +1,199 @@
+package decluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adr/internal/chunk"
+	"adr/internal/index"
+	"adr/internal/space"
+)
+
+// gridEntries builds side×side unit-square chunks tiling [0,side]^2 — the
+// dense regular layout of the paper's WCS and VM datasets.
+func gridEntries(side int) []index.Entry {
+	var entries []index.Entry
+	id := chunk.ID(0)
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			entries = append(entries, index.Entry{
+				MBR: space.R(float64(x), float64(x+1), float64(y), float64(y+1)),
+				ID:  id,
+			})
+			id++
+		}
+	}
+	return entries
+}
+
+func TestHilbertBalance(t *testing.T) {
+	entries := gridEntries(16) // 256 chunks
+	for _, ndisks := range []int{2, 4, 8, 16, 7} {
+		got := Hilbert{}.Assign(entries, ndisks)
+		if len(got) != len(entries) {
+			t.Fatalf("ndisks=%d: %d assignments", ndisks, len(got))
+		}
+		counts, imbalance := Balance(got, ndisks)
+		for d, c := range counts {
+			if c == 0 {
+				t.Errorf("ndisks=%d: disk %d unused", ndisks, d)
+			}
+		}
+		// Round-robin dealing along the curve is balanced within one chunk.
+		if imbalance > 1.05 {
+			t.Errorf("ndisks=%d: imbalance %.3f", ndisks, imbalance)
+		}
+	}
+}
+
+func TestHilbertDeterministic(t *testing.T) {
+	entries := gridEntries(8)
+	a := Hilbert{}.Assign(entries, 4)
+	b := Hilbert{}.Assign(entries, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Hilbert assignment not deterministic")
+		}
+	}
+}
+
+func TestHilbertSpreadsNeighbours(t *testing.T) {
+	// Declustering exists so range queries hit many disks: any small box
+	// covering k>=ndisks chunks should touch every disk. Check 4-chunk
+	// square neighbourhoods hit >= 3 distinct disks out of 4 on average.
+	entries := gridEntries(16)
+	assign := Hilbert{}.Assign(entries, 4)
+	byID := make(map[chunk.ID]int)
+	for i, e := range entries {
+		byID[e.ID] = assign[i]
+	}
+	lin := index.NewLinear(entries)
+	total, hits := 0, 0
+	for x := 0; x < 15; x++ {
+		for y := 0; y < 15; y++ {
+			q := space.R(float64(x)+0.1, float64(x)+1.9, float64(y)+0.1, float64(y)+1.9)
+			ids := lin.Search(q)
+			disks := make(map[int]bool)
+			for _, id := range ids {
+				disks[byID[id]] = true
+			}
+			total += 4
+			hits += len(disks)
+		}
+	}
+	frac := float64(hits) / float64(total)
+	if frac < 0.70 {
+		t.Errorf("2x2 neighbourhoods hit %.0f%% of disks, want >= 70%%", frac*100)
+	}
+}
+
+func TestHilbertSingleDiskAndEmpty(t *testing.T) {
+	entries := gridEntries(4)
+	got := Hilbert{}.Assign(entries, 1)
+	for _, d := range got {
+		if d != 0 {
+			t.Fatal("single disk must receive everything")
+		}
+	}
+	if got := (Hilbert{}).Assign(nil, 8); len(got) != 0 {
+		t.Errorf("empty entries gave %v", got)
+	}
+}
+
+func TestHilbertExplicitBounds(t *testing.T) {
+	entries := gridEntries(8)
+	got := Hilbert{Bounds: space.R(0, 8, 0, 8)}.Assign(entries, 4)
+	counts, imbalance := Balance(got, 4)
+	if imbalance > 1.05 {
+		t.Errorf("imbalance %.3f with explicit bounds (%v)", imbalance, counts)
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	entries := gridEntries(4)
+	got := RoundRobin{}.Assign(entries, 3)
+	for i, d := range got {
+		if d != i%3 {
+			t.Fatalf("entry %d on disk %d, want %d", i, d, i%3)
+		}
+	}
+}
+
+func TestRandomSeeded(t *testing.T) {
+	entries := gridEntries(8)
+	a := Random{Seed: 1}.Assign(entries, 4)
+	b := Random{Seed: 1}.Assign(entries, 4)
+	c := Random{Seed: 2}.Assign(entries, 4)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should reproduce")
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical assignment")
+	}
+	_, imbalance := Balance(a, 4)
+	if imbalance > 1.5 {
+		t.Errorf("random imbalance %.2f suspiciously high", imbalance)
+	}
+}
+
+func TestBalanceEdgeCases(t *testing.T) {
+	counts, imb := Balance(nil, 4)
+	if imb != 1 || len(counts) != 4 {
+		t.Errorf("empty Balance = %v, %g", counts, imb)
+	}
+	counts, imb = Balance([]int{0, 0, 0, 0}, 2)
+	if counts[0] != 4 || counts[1] != 0 || imb != 2 {
+		t.Errorf("skewed Balance = %v, %g", counts, imb)
+	}
+}
+
+func TestQuickAssignersValidAndBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	f := func() bool {
+		n := 1 + rng.Intn(300)
+		ndisks := 1 + rng.Intn(16)
+		entries := make([]index.Entry, n)
+		for i := range entries {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			entries[i] = index.Entry{MBR: space.R(x, x+1, y, y+1), ID: chunk.ID(i)}
+		}
+		for _, a := range []Assigner{Hilbert{}, RoundRobin{}, Random{Seed: int64(n)}} {
+			got := a.Assign(entries, ndisks)
+			if len(got) != n {
+				return false
+			}
+			for _, d := range got {
+				if d < 0 || d >= ndisks {
+					return false
+				}
+			}
+		}
+		// Hilbert and RoundRobin are balanced within one chunk.
+		for _, a := range []Assigner{Hilbert{}, RoundRobin{}} {
+			counts, _ := Balance(a.Assign(entries, ndisks), ndisks)
+			min, max := n, 0
+			for _, c := range counts {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			if max-min > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

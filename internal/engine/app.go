@@ -1,0 +1,95 @@
+// Package engine is ADR's query execution service: it carries out a query
+// plan on the parallel back-end, progressing through the four phases of §2.4
+// for each tile — Initialization, Local Reduction, Global Combine, Output
+// Handling — while overlapping disk reads, interprocessor communication and
+// processing.
+//
+// The engine is transport-agnostic: every back-end node runs RunNode against
+// an rpc.Endpoint, whether the nodes are goroutines sharing a process
+// (rpc.InprocFabric) or daemons on a TCP mesh (cmd/adr-node). Run is the
+// convenience wrapper that drives all nodes of an in-process fabric.
+package engine
+
+import (
+	"fmt"
+
+	"adr/internal/chunk"
+)
+
+// Accumulator holds the intermediate result for one output chunk during
+// query processing (the paper's accumulator chunk). Concrete types are
+// application-defined; the engine moves them between processors with the
+// App's Encode/Decode functions.
+type Accumulator interface{}
+
+// App is the data aggregation service customization: the user-defined
+// Initialize, Aggregate (with Map folded in at item granularity), Combine
+// and Output functions of Fig 1, plus the accumulator codec the custom RPC
+// layer needs to exchange ghost chunks.
+type App interface {
+	// Init allocates and initializes the accumulator for an output chunk.
+	// existing is the current output chunk when InitRequiresOutput() is
+	// true and the chunk exists, else nil. ghost reports whether this copy
+	// is a replica on a non-home processor — commutative aggregations whose
+	// initial value is drawn from existing data (e.g. running sums seeded
+	// with the current output) must initialize ghosts to the identity so
+	// the global combine does not double-count.
+	Init(out chunk.Meta, existing *chunk.Chunk, ghost bool) (Accumulator, error)
+
+	// Aggregate folds one input chunk into the accumulator of one output
+	// chunk. The engine guarantees in.Meta's targets include out; the app
+	// maps items (Map) and aggregates those landing in out's region. Must
+	// be commutative and associative across calls, as §1 requires of ADR
+	// aggregation functions.
+	Aggregate(acc Accumulator, out chunk.Meta, in *chunk.Chunk) error
+
+	// Combine merges a partial accumulator (a ghost) into dst during the
+	// global combine phase.
+	Combine(dst, src Accumulator, out chunk.Meta) error
+
+	// Output converts the final accumulator into the output chunk.
+	Output(acc Accumulator, out chunk.Meta) (*chunk.Chunk, error)
+
+	// EncodeAccum/DecodeAccum serialize accumulators for ghost transfer.
+	EncodeAccum(acc Accumulator, out chunk.Meta) ([]byte, error)
+	DecodeAccum(data []byte, out chunk.Meta) (Accumulator, error)
+
+	// InitRequiresOutput reports whether Init must be handed the existing
+	// output chunk (§2.4 phase 1: "If an existing output dataset is
+	// required to initialize accumulator elements, an output chunk is
+	// retrieved by the processor that has the chunk on its local disk, and
+	// the chunk is forwarded to the processors that require it").
+	InitRequiresOutput() bool
+}
+
+// Message types on the fabric. Values are part of the node protocol.
+const (
+	// msgInputChunk forwards an encoded input chunk to a remote home
+	// (DA/hybrid local reduction). Seq = input position.
+	msgInputChunk = 1
+	// msgGhostAccum carries an encoded ghost accumulator to its home
+	// (FRA/SRA global combine). Seq = output position.
+	msgGhostAccum = 2
+	// msgOutputInit forwards an existing output chunk from its owner to a
+	// processor that must initialize a replica from it. Seq = output
+	// position.
+	msgOutputInit = 3
+	// msgFinalOutput ships a finished output chunk from its home to its
+	// owner (hybrid output handling). Seq = output position.
+	msgFinalOutput = 4
+)
+
+func msgTypeName(t uint8) string {
+	switch t {
+	case msgInputChunk:
+		return "input-chunk"
+	case msgGhostAccum:
+		return "ghost-accum"
+	case msgOutputInit:
+		return "output-init"
+	case msgFinalOutput:
+		return "final-output"
+	default:
+		return fmt.Sprintf("type-%d", t)
+	}
+}

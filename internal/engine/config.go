@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"fmt"
+
+	"adr/internal/chunk"
+	"adr/internal/layout"
+	"adr/internal/metrics"
+	"adr/internal/plan"
+	"adr/internal/rpc"
+)
+
+// ChunkStorage is the node's view of its local disks: reads and writes are
+// legal only for chunks whose metadata places them on this node (§2.2: a
+// chunk "is read and/or written during query processing only by the local
+// processor to which the disk is attached").
+type ChunkStorage interface {
+	// ReadChunk returns the encoded payload of a local chunk.
+	ReadChunk(dataset string, m chunk.Meta) ([]byte, error)
+	// WriteChunk stores an encoded output chunk on the disk named by m.
+	WriteChunk(dataset string, m chunk.Meta, data []byte) error
+	// HasChunk reports whether the chunk exists (used for optional
+	// existing-output initialization).
+	HasChunk(dataset string, m chunk.Meta) bool
+}
+
+// FarmStorage adapts a layout.Farm to ChunkStorage.
+type FarmStorage struct {
+	Farm *layout.Farm
+}
+
+// ReadChunk reads from the chunk's disk store.
+func (f FarmStorage) ReadChunk(dataset string, m chunk.Meta) ([]byte, error) {
+	st, err := f.Farm.Store(int(m.Disk))
+	if err != nil {
+		return nil, err
+	}
+	return st.Get(dataset, m.ID)
+}
+
+// WriteChunk writes to the chunk's disk store.
+func (f FarmStorage) WriteChunk(dataset string, m chunk.Meta, data []byte) error {
+	st, err := f.Farm.Store(int(m.Disk))
+	if err != nil {
+		return err
+	}
+	return st.Put(dataset, m.ID, data)
+}
+
+// HasChunk reports presence on the chunk's disk store.
+func (f FarmStorage) HasChunk(dataset string, m chunk.Meta) bool {
+	st, err := f.Farm.Store(int(m.Disk))
+	if err != nil {
+		return false
+	}
+	return st.Has(dataset, m.ID)
+}
+
+// Config describes one query execution.
+type Config struct {
+	Plan     *plan.Plan
+	Workload *plan.Workload
+	App      App
+
+	// InputDataset and OutputDataset name the datasets in storage.
+	// OutputDataset is consulted only when the App requires existing
+	// output chunks for initialization.
+	InputDataset  string
+	OutputDataset string
+
+	// ResultDataset, when non-empty, makes output handling write finished
+	// chunks back to storage under this name at the owning node's disk. It
+	// may equal OutputDataset to update the dataset in place.
+	ResultDataset string
+
+	// OnResult, when non-nil, is invoked (on the owning node, in that
+	// node's goroutine/process) with every finished output chunk — the
+	// engine-level hook the front-end uses to return query output to
+	// clients. Implementations must be safe for concurrent calls from
+	// different nodes.
+	OnResult func(node rpc.NodeID, c *chunk.Chunk) error
+
+	// ReadAhead is the local-disk prefetch depth per node (the engine's
+	// analogue of ADR's pending asynchronous I/O operations). <= 0 selects
+	// DefaultReadAhead.
+	ReadAhead int
+
+	// serialStorage backs RunSerial only; see WithSerialStorage.
+	serialStorage ChunkStorage
+}
+
+// DefaultReadAhead is the per-node prefetch depth: deep enough to keep a
+// disk busy while a chunk is aggregated, shallow enough to bound memory.
+const DefaultReadAhead = 4
+
+// Validate checks the configuration for obvious inconsistencies.
+func (c *Config) Validate() error {
+	if c.Plan == nil || c.Workload == nil {
+		return fmt.Errorf("engine: plan and workload are required")
+	}
+	if c.App == nil {
+		return fmt.Errorf("engine: app is required")
+	}
+	if c.InputDataset == "" {
+		return fmt.Errorf("engine: input dataset name is required")
+	}
+	if c.App.InitRequiresOutput() && c.OutputDataset == "" {
+		return fmt.Errorf("engine: app requires existing output but no output dataset named")
+	}
+	if c.ResultDataset == "" && c.OnResult == nil {
+		return fmt.Errorf("engine: results have nowhere to go: set ResultDataset and/or OnResult")
+	}
+	return plan.Verify(c.Plan, c.Workload)
+}
+
+// Report aggregates the execution's per-node metrics.
+type Report struct {
+	Nodes []metrics.Snapshot
+}
+
+// Total sums all node snapshots.
+func (r *Report) Total() metrics.Snapshot {
+	var t metrics.Snapshot
+	for _, n := range r.Nodes {
+		t.Add(n)
+	}
+	return t
+}
+
+// MaxCommBytes returns the largest per-node communication volume.
+func (r *Report) MaxCommBytes() int64 {
+	var max int64
+	for _, n := range r.Nodes {
+		if v := n.CommBytes(); v > max {
+			max = v
+		}
+	}
+	return max
+}

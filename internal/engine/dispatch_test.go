@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"adr/internal/rpc"
+)
+
+func TestDispatcherRoutesByQuery(t *testing.T) {
+	f, err := rpc.NewInprocFabric(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, _ := f.Endpoint(0)
+	ep1, _ := f.Endpoint(1)
+	d := NewDispatcher(ep1)
+	defer d.Close()
+
+	qa := d.Endpoint(1)
+	qb := d.Endpoint(2)
+
+	// Interleave traffic for two queries.
+	for i := int32(0); i < 10; i++ {
+		if err := ep0.Send(rpc.Message{Src: 0, Dst: 1, Query: 1 + i%2, Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		m, err := qa.Recv(ctx)
+		if err != nil || m.Query != 1 {
+			t.Fatalf("query 1 recv = %+v, %v", m, err)
+		}
+		m, err = qb.Recv(ctx)
+		if err != nil || m.Query != 2 {
+			t.Fatalf("query 2 recv = %+v, %v", m, err)
+		}
+	}
+}
+
+func TestDispatcherSendStampsQuery(t *testing.T) {
+	f, err := rpc.NewInprocFabric(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, _ := f.Endpoint(0)
+	ep1, _ := f.Endpoint(1)
+	d := NewDispatcher(ep0)
+	defer d.Close()
+
+	q := d.Endpoint(42)
+	if err := q.Send(rpc.Message{Src: 0, Dst: 1, Seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ep1.Recv(context.Background())
+	if err != nil || m.Query != 42 || m.Seq != 7 {
+		t.Fatalf("stamped message = %+v, %v", m, err)
+	}
+}
+
+func TestDispatcherBuffersEarlyArrivals(t *testing.T) {
+	f, err := rpc.NewInprocFabric(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, _ := f.Endpoint(0)
+	ep1, _ := f.Endpoint(1)
+	d := NewDispatcher(ep1)
+	defer d.Close()
+
+	// Message arrives before anyone asks for query 9's endpoint.
+	if err := ep0.Send(rpc.Message{Src: 0, Dst: 1, Query: 9, Seq: 55}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	q := d.Endpoint(9)
+	m, err := q.Recv(context.Background())
+	if err != nil || m.Seq != 55 {
+		t.Fatalf("buffered arrival = %+v, %v", m, err)
+	}
+}
+
+func TestDispatcherReleaseUnblocks(t *testing.T) {
+	f, err := rpc.NewInprocFabric(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep, _ := f.Endpoint(0)
+	d := NewDispatcher(ep)
+	defer d.Close()
+	q := d.Endpoint(3)
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Recv(context.Background())
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	d.Release(3)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Recv after release should error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock on release")
+	}
+}
+
+func TestDispatcherCloseUnblocksAll(t *testing.T) {
+	f, err := rpc.NewInprocFabric(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, _ := f.Endpoint(0)
+	d := NewDispatcher(ep)
+	var wg sync.WaitGroup
+	for k := int32(0); k < 4; k++ {
+		q := d.Endpoint(k)
+		wg.Add(1)
+		go func(q rpc.Endpoint) {
+			defer wg.Done()
+			if _, err := q.Recv(context.Background()); err == nil {
+				t.Error("Recv survived dispatcher close")
+			}
+		}(q)
+	}
+	time.Sleep(20 * time.Millisecond)
+	d.Close()
+	f.Close()
+	wgDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgDone) }()
+	select {
+	case <-wgDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiters did not unblock on close")
+	}
+}
+
+func TestDispatcherRecvContext(t *testing.T) {
+	f, err := rpc.NewInprocFabric(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep, _ := f.Endpoint(0)
+	d := NewDispatcher(ep)
+	defer d.Close()
+	q := d.Endpoint(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := q.Recv(ctx); err == nil {
+		t.Error("Recv should respect context deadline")
+	}
+}

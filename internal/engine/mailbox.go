@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"adr/internal/rpc"
+)
+
+// mailbox decouples the fabric from the node's tile-ordered processing: a
+// receiver goroutine drains the endpoint continuously — so a fast node
+// running ahead into the next tile can never exert backpressure that
+// deadlocks the mesh — and the node loop takes messages by (tile, type) in
+// whatever order its current phase needs them.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[mboxKey][]rpc.Message
+	err     error
+	closed  bool
+}
+
+type mboxKey struct {
+	tile int32
+	typ  uint8
+}
+
+var errMailboxClosed = errors.New("engine: mailbox closed")
+
+func newMailbox() *mailbox {
+	m := &mailbox{pending: make(map[mboxKey][]rpc.Message)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// run drains the endpoint until the context is cancelled or the endpoint
+// closes. It always terminates the mailbox so takers unblock.
+func (m *mailbox) run(ctx context.Context, ep rpc.Endpoint) {
+	for {
+		msg, err := ep.Recv(ctx)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		m.put(msg)
+	}
+}
+
+func (m *mailbox) put(msg rpc.Message) {
+	k := mboxKey{tile: msg.Tile, typ: uint8(msg.Type)}
+	m.mu.Lock()
+	m.pending[k] = append(m.pending[k], msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// fail marks the mailbox dead; pending messages remain takeable so a node
+// that has already received everything it needs can still finish.
+func (m *mailbox) fail(err error) {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.err = err
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a message of the given tile and type is available.
+func (m *mailbox) take(tile int32, typ uint8) (rpc.Message, error) {
+	k := mboxKey{tile: tile, typ: typ}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if q := m.pending[k]; len(q) > 0 {
+			msg := q[0]
+			if len(q) == 1 {
+				delete(m.pending, k)
+			} else {
+				m.pending[k] = q[1:]
+			}
+			return msg, nil
+		}
+		if m.closed {
+			if m.err != nil {
+				return rpc.Message{}, m.err
+			}
+			return rpc.Message{}, errMailboxClosed
+		}
+		m.cond.Wait()
+	}
+}

@@ -1,0 +1,509 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"adr/internal/chunk"
+	"adr/internal/metrics"
+	"adr/internal/rpc"
+)
+
+// node is one back-end processor executing its share of a plan.
+type node struct {
+	cfg  *Config
+	self rpc.NodeID
+	ep   rpc.Endpoint
+	st   ChunkStorage
+	met  *metrics.Node
+	mbox *mailbox
+
+	// fwdByInput[t][i] lists the destinations input position i must be
+	// forwarded to in tile t (from this node).
+	fwdByInput []map[int32][]rpc.NodeID
+	// expect[t] is what this node waits for in tile t.
+	expect []tileExpect
+}
+
+type tileExpect struct {
+	inputs      int // forwarded input chunks (DA/hybrid local reduction)
+	ghostTotal  int // ghost accumulators to combine (FRA/SRA global combine)
+	outputInits int // existing output chunks for replica initialization
+	finals      int // finished outputs shipped back to this owner (hybrid)
+}
+
+// RunNode executes one node's share of the configured query. It returns the
+// node's metrics snapshot. All nodes of the fabric must run the same
+// Config; the call completes when this node has emitted every output chunk
+// it is responsible for.
+func RunNode(ctx context.Context, cfg Config, ep rpc.Endpoint, st ChunkStorage) (metrics.Snapshot, error) {
+	if err := cfg.Validate(); err != nil {
+		return metrics.Snapshot{}, err
+	}
+	n := &node{
+		cfg:  &cfg,
+		self: ep.Self(),
+		ep:   ep,
+		st:   st,
+		met:  &metrics.Node{},
+		mbox: newMailbox(),
+	}
+	n.prepare()
+
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go n.mbox.run(rctx, ep)
+
+	for t := range cfg.Plan.Tiles {
+		if err := ctx.Err(); err != nil {
+			return n.met.Snapshot(), err
+		}
+		if err := n.runTile(ctx, int32(t)); err != nil {
+			return n.met.Snapshot(), fmt.Errorf("engine: node %d tile %d: %w", n.self, t, err)
+		}
+	}
+	return n.met.Snapshot(), nil
+}
+
+// prepare derives this node's per-tile forwarding map and expected message
+// counts from the plan.
+func (n *node) prepare() {
+	p, w := n.cfg.Plan, n.cfg.Workload
+	tiles := len(p.Tiles)
+	n.fwdByInput = make([]map[int32][]rpc.NodeID, tiles)
+	n.expect = make([]tileExpect, tiles)
+	needInit := n.cfg.App.InitRequiresOutput()
+
+	for t := range p.Tiles {
+		tile := &p.Tiles[t]
+		// Forwards from this node.
+		if fs := tile.Forwards[n.self]; len(fs) > 0 {
+			m := make(map[int32][]rpc.NodeID)
+			for _, f := range fs {
+				m[f.Input] = append(m[f.Input], rpc.NodeID(f.Dest))
+			}
+			n.fwdByInput[t] = m
+		}
+		// Forwards into this node.
+		for q := range tile.Forwards {
+			for _, f := range tile.Forwards[q] {
+				if rpc.NodeID(f.Dest) == n.self {
+					n.expect[t].inputs++
+				}
+			}
+		}
+		// Ghosts combining into locals homed here.
+		for q := range tile.Ghosts {
+			for _, o := range tile.Ghosts[q] {
+				if rpc.NodeID(p.Home[o]) == n.self {
+					n.expect[t].ghostTotal++
+				}
+			}
+		}
+		// Existing-output forwarding: each replica holder that is not the
+		// owner receives one msgOutputInit per allocated output.
+		if needInit {
+			count := 0
+			for _, o := range tile.Locals[n.self] {
+				if rpc.NodeID(w.Outputs[o].Node) != n.self {
+					count++
+				}
+			}
+			for _, o := range tile.Ghosts[n.self] {
+				if rpc.NodeID(w.Outputs[o].Node) != n.self {
+					count++
+				}
+			}
+			n.expect[t].outputInits = count
+		}
+		// Finished outputs shipped back to this node as owner.
+		for _, o := range tile.Outputs {
+			if rpc.NodeID(w.Outputs[o].Node) == n.self && rpc.NodeID(p.Home[o]) != n.self {
+				n.expect[t].finals++
+			}
+		}
+	}
+}
+
+// runTile advances this node through the four §2.4 phases for one tile.
+func (n *node) runTile(ctx context.Context, t int32) error {
+	accs, err := n.phaseInit(t)
+	if err != nil {
+		return fmt.Errorf("initialization: %w", err)
+	}
+	if err := n.phaseLocalReduction(ctx, t, accs); err != nil {
+		return fmt.Errorf("local reduction: %w", err)
+	}
+	if err := n.phaseGlobalCombine(t, accs); err != nil {
+		return fmt.Errorf("global combine: %w", err)
+	}
+	if err := n.phaseOutput(t, accs); err != nil {
+		return fmt.Errorf("output handling: %w", err)
+	}
+	return nil
+}
+
+// phaseInit allocates and initializes the accumulator chunks this node
+// holds for the tile (locals it homes plus ghosts), retrieving and
+// forwarding existing output chunks when the app requires them.
+func (n *node) phaseInit(t int32) (map[int32]Accumulator, error) {
+	p, w := n.cfg.Plan, n.cfg.Workload
+	tile := &p.Tiles[t]
+	needInit := n.cfg.App.InitRequiresOutput()
+	existing := make(map[int32]*chunk.Chunk)
+
+	if needInit {
+		// Owner duties: read each owned output chunk in the tile from local
+		// disk and forward it to every other holder of a replica.
+		for _, o := range tile.Outputs {
+			if rpc.NodeID(w.Outputs[o].Node) != n.self {
+				continue
+			}
+			var payload []byte
+			if n.st.HasChunk(n.cfg.OutputDataset, w.Outputs[o]) {
+				data, err := n.st.ReadChunk(n.cfg.OutputDataset, w.Outputs[o])
+				if err != nil {
+					return nil, fmt.Errorf("read existing output %d: %w", o, err)
+				}
+				n.met.BytesRead.Add(int64(len(data)))
+				n.met.ChunksRead.Add(1)
+				payload = data
+				c, err := chunk.Decode(data)
+				if err != nil {
+					return nil, fmt.Errorf("decode existing output %d: %w", o, err)
+				}
+				existing[o] = c
+			}
+			holders := n.replicaHolders(t, o)
+			for _, h := range holders {
+				if h == n.self {
+					continue
+				}
+				if err := n.send(rpc.Message{
+					Src: n.self, Dst: h, Type: msgOutputInit, Tile: t, Seq: o,
+					Payload: payload,
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Replica duties: receive existing chunks for allocations whose
+		// owner is remote.
+		for k := 0; k < n.expect[t].outputInits; k++ {
+			msg, err := n.mbox.take(t, msgOutputInit)
+			if err != nil {
+				return nil, err
+			}
+			n.noteRecv(msg)
+			if len(msg.Payload) > 0 {
+				c, err := chunk.Decode(msg.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("decode output-init %d: %w", msg.Seq, err)
+				}
+				existing[msg.Seq] = c
+			}
+		}
+	}
+
+	accs := make(map[int32]Accumulator)
+	start := time.Now()
+	for _, o := range tile.Locals[n.self] {
+		acc, err := n.cfg.App.Init(w.Outputs[o], existing[o], false)
+		if err != nil {
+			return nil, fmt.Errorf("init output %d: %w", o, err)
+		}
+		accs[o] = acc
+	}
+	for _, o := range tile.Ghosts[n.self] {
+		acc, err := n.cfg.App.Init(w.Outputs[o], existing[o], true)
+		if err != nil {
+			return nil, fmt.Errorf("init ghost %d: %w", o, err)
+		}
+		accs[o] = acc
+	}
+	n.met.AddPhase(metrics.Initialization, time.Since(start))
+	return accs, nil
+}
+
+// replicaHolders returns every node allocating output o in tile t.
+func (n *node) replicaHolders(t, o int32) []rpc.NodeID {
+	p := n.cfg.Plan
+	tile := &p.Tiles[t]
+	holders := []rpc.NodeID{rpc.NodeID(p.Home[o])}
+	for q := range tile.Ghosts {
+		for _, g := range tile.Ghosts[q] {
+			if g == o {
+				holders = append(holders, rpc.NodeID(q))
+				break
+			}
+		}
+	}
+	return holders
+}
+
+// readResult is one prefetched local chunk.
+type readResult struct {
+	input int32
+	data  []byte
+	err   error
+}
+
+// phaseLocalReduction retrieves this node's local input chunks (with
+// read-ahead, overlapping disk and processing), aggregates them into every
+// allocated target accumulator of the tile, forwards them to remote homes,
+// and folds in the input chunks other nodes forward here.
+//
+// Retrieval runs one prefetcher per local disk (§2.2: nodes have multiple
+// disks attached; chunks on different disks are read in parallel), each
+// bounded by the shared read-ahead depth.
+func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]Accumulator) error {
+	p, w := n.cfg.Plan, n.cfg.Workload
+	tile := &p.Tiles[t]
+	reads := tile.Reads[n.self]
+
+	depth := n.cfg.ReadAhead
+	if depth <= 0 {
+		depth = DefaultReadAhead
+	}
+	// Group reads by disk, preserving retrieval order within each disk.
+	byDisk := make(map[int32][]int32)
+	var diskOrder []int32
+	for _, i := range reads {
+		d := w.Inputs[i].Disk
+		if _, ok := byDisk[d]; !ok {
+			diskOrder = append(diskOrder, d)
+		}
+		byDisk[d] = append(byDisk[d], i)
+	}
+	readCh := make(chan readResult, depth)
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var readers sync.WaitGroup
+	for _, d := range diskOrder {
+		readers.Add(1)
+		go func(queue []int32) {
+			defer readers.Done()
+			for _, i := range queue {
+				data, err := n.st.ReadChunk(n.cfg.InputDataset, w.Inputs[i])
+				select {
+				case readCh <- readResult{input: i, data: data, err: err}:
+				case <-rctx.Done():
+					return
+				}
+				if err != nil {
+					return
+				}
+			}
+		}(byDisk[d])
+	}
+	go func() {
+		readers.Wait()
+		close(readCh)
+	}()
+
+	aggregate := func(i int32, c *chunk.Chunk) error {
+		start := time.Now()
+		for _, o := range w.Targets[i] {
+			if p.TileOf[o] != t {
+				continue
+			}
+			acc, ok := accs[o]
+			if !ok {
+				continue
+			}
+			if err := n.cfg.App.Aggregate(acc, w.Outputs[o], c); err != nil {
+				return fmt.Errorf("aggregate input %d into output %d: %w", i, o, err)
+			}
+			n.met.AggOps.Add(1)
+		}
+		n.met.AddPhase(metrics.LocalReduction, time.Since(start))
+		return nil
+	}
+
+	for r := range readCh {
+		if r.err != nil {
+			return fmt.Errorf("read input %d: %w", r.input, r.err)
+		}
+		n.met.BytesRead.Add(int64(len(r.data)))
+		n.met.ChunksRead.Add(1)
+		// Forward before aggregating so remote homes can overlap their own
+		// processing with ours (the chunk buffer is shared: storage data is
+		// immutable here, the zero-copy path §2.4 argues for).
+		for _, dst := range n.fwdByInput[t][r.input] {
+			if err := n.send(rpc.Message{
+				Src: n.self, Dst: dst, Type: msgInputChunk, Tile: t, Seq: r.input,
+				Payload: r.data,
+			}); err != nil {
+				return err
+			}
+		}
+		c, err := chunk.Decode(r.data)
+		if err != nil {
+			return fmt.Errorf("decode input %d: %w", r.input, err)
+		}
+		if err := aggregate(r.input, c); err != nil {
+			return err
+		}
+	}
+
+	// Fold in inputs forwarded from other nodes.
+	for k := 0; k < n.expect[t].inputs; k++ {
+		msg, err := n.mbox.take(t, msgInputChunk)
+		if err != nil {
+			return err
+		}
+		n.noteRecv(msg)
+		c, err := chunk.Decode(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("decode forwarded input %d: %w", msg.Seq, err)
+		}
+		if err := aggregate(msg.Seq, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// phaseGlobalCombine sends this node's ghost accumulators to their homes
+// and combines the ghosts other nodes send here into the final values.
+func (n *node) phaseGlobalCombine(t int32, accs map[int32]Accumulator) error {
+	p, w := n.cfg.Plan, n.cfg.Workload
+	tile := &p.Tiles[t]
+
+	for _, o := range tile.Ghosts[n.self] {
+		start := time.Now()
+		data, err := n.cfg.App.EncodeAccum(accs[o], w.Outputs[o])
+		if err != nil {
+			return fmt.Errorf("encode ghost %d: %w", o, err)
+		}
+		n.met.AddPhase(metrics.GlobalCombine, time.Since(start))
+		if err := n.send(rpc.Message{
+			Src: n.self, Dst: rpc.NodeID(p.Home[o]), Type: msgGhostAccum, Tile: t, Seq: o,
+			Payload: data,
+		}); err != nil {
+			return err
+		}
+		delete(accs, o) // ghost memory is released after the send
+	}
+
+	for k := 0; k < n.expect[t].ghostTotal; k++ {
+		msg, err := n.mbox.take(t, msgGhostAccum)
+		if err != nil {
+			return err
+		}
+		n.noteRecv(msg)
+		o := msg.Seq
+		dst, ok := accs[o]
+		if !ok {
+			return fmt.Errorf("ghost for output %d arrived but no local accumulator", o)
+		}
+		start := time.Now()
+		src, err := n.cfg.App.DecodeAccum(msg.Payload, w.Outputs[o])
+		if err != nil {
+			return fmt.Errorf("decode ghost %d: %w", o, err)
+		}
+		if err := n.cfg.App.Combine(dst, src, w.Outputs[o]); err != nil {
+			return fmt.Errorf("combine ghost %d: %w", o, err)
+		}
+		n.met.CombineOps.Add(1)
+		n.met.AddPhase(metrics.GlobalCombine, time.Since(start))
+	}
+	return nil
+}
+
+// phaseOutput finalizes this node's homed accumulators into output chunks,
+// ships homed-away chunks to their owners, and emits everything this node
+// owns.
+func (n *node) phaseOutput(t int32, accs map[int32]Accumulator) error {
+	p, w := n.cfg.Plan, n.cfg.Workload
+	tile := &p.Tiles[t]
+
+	for _, o := range tile.Locals[n.self] {
+		start := time.Now()
+		out, err := n.cfg.App.Output(accs[o], w.Outputs[o])
+		if err != nil {
+			return fmt.Errorf("output %d: %w", o, err)
+		}
+		n.finalizeMeta(out, o)
+		n.met.AddPhase(metrics.OutputHandling, time.Since(start))
+		owner := rpc.NodeID(w.Outputs[o].Node)
+		if owner != n.self {
+			if err := n.send(rpc.Message{
+				Src: n.self, Dst: owner, Type: msgFinalOutput, Tile: t, Seq: o,
+				Payload: chunk.Encode(out),
+			}); err != nil {
+				return err
+			}
+		} else if err := n.emit(out); err != nil {
+			return fmt.Errorf("emit output %d: %w", o, err)
+		}
+		delete(accs, o)
+	}
+
+	for k := 0; k < n.expect[t].finals; k++ {
+		msg, err := n.mbox.take(t, msgFinalOutput)
+		if err != nil {
+			return err
+		}
+		n.noteRecv(msg)
+		out, err := chunk.Decode(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("decode final output %d: %w", msg.Seq, err)
+		}
+		if err := n.emit(out); err != nil {
+			return fmt.Errorf("emit shipped output %d: %w", msg.Seq, err)
+		}
+	}
+	return nil
+}
+
+// finalizeMeta stamps engine-owned metadata onto a finished chunk.
+func (n *node) finalizeMeta(out *chunk.Chunk, o int32) {
+	src := n.cfg.Workload.Outputs[o]
+	out.Meta.ID = src.ID
+	out.Meta.Disk = src.Disk
+	out.Meta.Node = src.Node
+	out.Meta.Items = int32(len(out.Items))
+	if n.cfg.ResultDataset != "" {
+		out.Meta.Dataset = n.cfg.ResultDataset
+	} else {
+		out.Meta.Dataset = src.Dataset
+	}
+	if out.Meta.MBR.IsEmpty() {
+		out.Meta.MBR = src.MBR
+	}
+}
+
+// emit delivers a finished output chunk at its owner: written back to the
+// owner's disk (new datasets are declustered to the source output chunk's
+// disk; updates overwrite in place) and/or handed to the result callback.
+func (n *node) emit(out *chunk.Chunk) error {
+	if n.cfg.ResultDataset != "" {
+		data := chunk.Encode(out)
+		out.Meta.Bytes = int64(len(data))
+		if err := n.st.WriteChunk(n.cfg.ResultDataset, out.Meta, data); err != nil {
+			return err
+		}
+		n.met.BytesWritten.Add(int64(len(data)))
+	}
+	if n.cfg.OnResult != nil {
+		return n.cfg.OnResult(n.self, out)
+	}
+	return nil
+}
+
+func (n *node) send(m rpc.Message) error {
+	if err := n.ep.Send(m); err != nil {
+		return fmt.Errorf("send %s to %d: %w", msgTypeName(uint8(m.Type)), m.Dst, err)
+	}
+	n.met.MsgsSent.Add(1)
+	n.met.BytesSent.Add(int64(len(m.Payload)))
+	return nil
+}
+
+func (n *node) noteRecv(m rpc.Message) {
+	n.met.MsgsRecv.Add(1)
+	n.met.BytesRecv.Add(int64(len(m.Payload)))
+}

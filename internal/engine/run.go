@@ -1,0 +1,51 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"adr/internal/metrics"
+	"adr/internal/rpc"
+)
+
+// Run executes the configured query across all nodes of an in-process
+// fabric, one goroutine group per back-end node, and returns the aggregated
+// report. It is the driver behind the in-process Repository; distributed
+// deployments call RunNode per daemon instead.
+func Run(ctx context.Context, cfg Config, fabric rpc.Fabric, st ChunkStorage) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	procs := cfg.Plan.Machine.Procs
+	report := &Report{Nodes: make([]metrics.Snapshot, procs)}
+
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make([]error, procs)
+	for q := 0; q < procs; q++ {
+		ep, err := fabric.Endpoint(rpc.NodeID(q))
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(q int, ep rpc.Endpoint) {
+			defer wg.Done()
+			snap, err := RunNode(rctx, cfg, ep, st)
+			report.Nodes[q] = snap
+			if err != nil {
+				errs[q] = err
+				cancel() // unblock peers waiting on this node
+			}
+		}(q, ep)
+	}
+	wg.Wait()
+	for q, err := range errs {
+		if err != nil {
+			return report, fmt.Errorf("engine: node %d failed: %w", q, err)
+		}
+	}
+	return report, nil
+}

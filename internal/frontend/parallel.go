@@ -1,0 +1,100 @@
+package frontend
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelClient is the parallel-client interface of Fig 2 (the role
+// Meta-Chaos played in the original system: "the Meta-Chaos interface is
+// mainly used for parallel clients"). Instead of funnelling every output
+// chunk through the front-end, a parallel client connects to each back-end
+// node's control port directly and consumes the per-node output streams
+// concurrently — each stream carries exactly the chunks that node owns, so
+// a data-parallel consumer (another simulation, a renderer farm) receives
+// its partition without a central merge.
+type ParallelClient struct {
+	nodeAddrs []string
+	queryID   atomic.Int32
+}
+
+// NewParallelClient builds a client for a back-end. The query-id space must
+// not collide with a front-end serving the same mesh concurrently; parallel
+// clients use the negative half.
+func NewParallelClient(nodeAddrs []string) (*ParallelClient, error) {
+	if len(nodeAddrs) == 0 {
+		return nil, fmt.Errorf("frontend: parallel client needs back-end addresses")
+	}
+	c := &ParallelClient{nodeAddrs: nodeAddrs}
+	c.queryID.Store(-1)
+	return c, nil
+}
+
+// NodeStream is one back-end node's portion of a query result.
+type NodeStream struct {
+	Node   int
+	Chunks []*ChunkJSON
+	Stats  *DoneStats
+	Err    error
+}
+
+// Query submits the spec to every node and returns the per-node streams,
+// consumed concurrently. The caller sees the output partitioned by owning
+// node — the layout a parallel consumer wants.
+func (c *ParallelClient) Query(spec *QuerySpec) ([]NodeStream, error) {
+	qid := c.queryID.Add(-1)
+	streams := make([]NodeStream, len(c.nodeAddrs))
+	var wg sync.WaitGroup
+	for i, addr := range c.nodeAddrs {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			streams[i] = c.queryNode(i, addr, qid, spec)
+		}(i, addr)
+	}
+	wg.Wait()
+	for i := range streams {
+		if streams[i].Err != nil {
+			return streams, fmt.Errorf("frontend: node %d: %w", i, streams[i].Err)
+		}
+	}
+	return streams, nil
+}
+
+func (c *ParallelClient) queryNode(i int, addr string, qid int32, spec *QuerySpec) NodeStream {
+	out := NodeStream{Node: i}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	defer conn.Close()
+	if err := WriteJSON(conn, &NodeRequest{QueryID: qid, Spec: *spec}); err != nil {
+		out.Err = err
+		return out
+	}
+	r := bufio.NewReader(conn)
+	for {
+		var msg Message
+		if err := ReadJSON(r, &msg); err != nil {
+			out.Err = err
+			return out
+		}
+		switch msg.Type {
+		case "chunk":
+			out.Chunks = append(out.Chunks, msg.Chunk)
+		case "done":
+			out.Stats = msg.Stats
+			return out
+		case "error":
+			out.Err = fmt.Errorf("%s", msg.Error)
+			return out
+		default:
+			out.Err = fmt.Errorf("unknown frame %q", msg.Type)
+			return out
+		}
+	}
+}

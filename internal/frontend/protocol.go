@@ -1,0 +1,198 @@
+// Package frontend implements the ADR front-end process (Fig 2): the query
+// interface service that clients connect to, and the query submission
+// service that relays queries to the parallel back-end and streams output
+// products back. The wire protocols — client <-> front-end and front-end <->
+// back-end control — are newline-delimited JSON over TCP, matching the
+// paper's "socket interface ... used for sequential clients".
+package frontend
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"adr/internal/apps"
+	"adr/internal/chunk"
+	"adr/internal/engine"
+	"adr/internal/plan"
+	"adr/internal/space"
+)
+
+// QuerySpec is the client's range query: datasets, bounding boxes, strategy
+// and the application customization, all by name (user-defined functions
+// are registered server-side; clients select them, as ADR clients select
+// registered aggregation functions).
+type QuerySpec struct {
+	Input  string `json:"input"`
+	Output string `json:"output"`
+	// InputBox/OutputBox are lo/hi pairs per dimension
+	// (lox, hix, loy, hiy, ...); empty selects the whole space.
+	InputBox  []float64 `json:"input_box,omitempty"`
+	OutputBox []float64 `json:"output_box,omitempty"`
+	Strategy  string    `json:"strategy"`
+	App       AppSpec   `json:"app"`
+	// ResultDataset, when set, writes results back to the farm as well as
+	// returning them.
+	ResultDataset string `json:"result_dataset,omitempty"`
+}
+
+// AppSpec selects a registered aggregation customization.
+type AppSpec struct {
+	Kind        string `json:"kind"` // "raster" is the built-in family
+	Op          string `json:"op"`   // sum | max | min | count | mean
+	CellsPerDim int    `json:"cells_per_dim"`
+	UseExisting bool   `json:"use_existing,omitempty"`
+}
+
+// Build instantiates the server-side App.
+func (a AppSpec) Build() (engine.App, error) {
+	if a.Kind != "" && a.Kind != "raster" {
+		return nil, fmt.Errorf("frontend: unknown app kind %q", a.Kind)
+	}
+	var op apps.Op
+	switch a.Op {
+	case "sum":
+		op = apps.Sum
+	case "max":
+		op = apps.Max
+	case "min":
+		op = apps.Min
+	case "count":
+		op = apps.Count
+	case "mean":
+		op = apps.Mean
+	default:
+		return nil, fmt.Errorf("frontend: unknown op %q", a.Op)
+	}
+	cells := a.CellsPerDim
+	if cells <= 0 {
+		cells = 8
+	}
+	return &apps.RasterApp{Op: op, CellsPerDim: cells, UseExisting: a.UseExisting}, nil
+}
+
+// ParseBox converts a flattened lo/hi list to a Rect.
+func ParseBox(b []float64) (space.Rect, error) {
+	if len(b) == 0 {
+		return space.Rect{}, nil
+	}
+	if len(b)%2 != 0 || len(b) > 2*space.MaxDims {
+		return space.Rect{}, fmt.Errorf("frontend: box needs lo/hi pairs, got %d values", len(b))
+	}
+	for i := 0; i < len(b); i += 2 {
+		if b[i] > b[i+1] {
+			return space.Rect{}, fmt.Errorf("frontend: box lo %g > hi %g", b[i], b[i+1])
+		}
+	}
+	return space.R(b...), nil
+}
+
+// Strategy parses the spec's strategy (default FRA).
+func (q *QuerySpec) ParseStrategy() (plan.Strategy, error) {
+	if q.Strategy == "" {
+		return plan.FRA, nil
+	}
+	return plan.ParseStrategy(q.Strategy)
+}
+
+// NodeRequest is the front-end -> back-end control frame: the query spec
+// plus the front-end-assigned query id that multiplexes the mesh. All nodes
+// of one query must receive the same id; a single front-end process (Fig 2)
+// guarantees uniqueness with a counter.
+type NodeRequest struct {
+	QueryID int32     `json:"query_id"`
+	Spec    QuerySpec `json:"spec"`
+}
+
+// Message is one frame of the result stream (back-end -> front-end and
+// front-end -> client).
+type Message struct {
+	Type string `json:"type"` // "chunk" | "done" | "error"
+	// Chunk, for type "chunk".
+	Chunk *ChunkJSON `json:"chunk,omitempty"`
+	// Error, for type "error".
+	Error string `json:"error,omitempty"`
+	// Stats, for type "done".
+	Stats *DoneStats `json:"stats,omitempty"`
+}
+
+// ChunkJSON is an output chunk on the wire.
+type ChunkJSON struct {
+	ID      int32      `json:"id"`
+	Dataset string     `json:"dataset"`
+	Lo      []float64  `json:"lo"`
+	Hi      []float64  `json:"hi"`
+	Items   []ItemJSON `json:"items"`
+}
+
+// ItemJSON is one data item; Value is base64 in JSON.
+type ItemJSON struct {
+	Coords []float64 `json:"coords"`
+	Value  []byte    `json:"value"`
+}
+
+// DoneStats summarizes one node's (or the whole query's) execution.
+type DoneStats struct {
+	Node       int   `json:"node"`
+	Chunks     int   `json:"chunks"`
+	BytesRead  int64 `json:"bytes_read"`
+	BytesSent  int64 `json:"bytes_sent"`
+	BytesRecv  int64 `json:"bytes_recv"`
+	AggOps     int64 `json:"agg_ops"`
+	ElapsedMS  int64 `json:"elapsed_ms"`
+	TotalNodes int   `json:"total_nodes,omitempty"`
+}
+
+// ToChunkJSON converts a finished chunk for the wire.
+func ToChunkJSON(c *chunk.Chunk) *ChunkJSON {
+	lo, hi := make([]float64, c.Meta.MBR.Dims), make([]float64, c.Meta.MBR.Dims)
+	copy(lo, c.Meta.MBR.Lo[:c.Meta.MBR.Dims])
+	copy(hi, c.Meta.MBR.Hi[:c.Meta.MBR.Dims])
+	cj := &ChunkJSON{ID: int32(c.Meta.ID), Dataset: c.Meta.Dataset, Lo: lo, Hi: hi}
+	for _, it := range c.Items {
+		coords := make([]float64, it.Coord.Dims)
+		copy(coords, it.Coord.Coords[:it.Coord.Dims])
+		cj.Items = append(cj.Items, ItemJSON{Coords: coords, Value: it.Value})
+	}
+	return cj
+}
+
+// FromChunkJSON reverses ToChunkJSON.
+func FromChunkJSON(cj *ChunkJSON) (*chunk.Chunk, error) {
+	if len(cj.Lo) != len(cj.Hi) || len(cj.Lo) == 0 {
+		return nil, fmt.Errorf("frontend: chunk %d has bad bounds", cj.ID)
+	}
+	bounds := make([]float64, 0, 2*len(cj.Lo))
+	for d := range cj.Lo {
+		bounds = append(bounds, cj.Lo[d], cj.Hi[d])
+	}
+	c := &chunk.Chunk{Meta: chunk.Meta{
+		ID: chunk.ID(cj.ID), Dataset: cj.Dataset, MBR: space.R(bounds...),
+	}}
+	for _, it := range cj.Items {
+		c.Items = append(c.Items, chunk.Item{Coord: space.Pt(it.Coords...), Value: it.Value})
+	}
+	c.Meta.Items = int32(len(c.Items))
+	return c, nil
+}
+
+// WriteJSON writes one newline-delimited JSON frame.
+func WriteJSON(w io.Writer, v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadJSON reads one newline-delimited JSON frame into v.
+func ReadJSON(r *bufio.Reader, v interface{}) error {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(line, v)
+}

@@ -1,0 +1,214 @@
+package frontend
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Server is the ADR front-end process: it accepts client connections on a
+// socket, relays each query to every back-end node's control port, merges
+// the per-node output streams, and returns the combined stream to the
+// client together with aggregate statistics. Queries from concurrent
+// clients run concurrently: each gets a unique query id that the back-end
+// nodes use to multiplex the mesh.
+type Server struct {
+	// NodeAddrs lists the back-end nodes' control addresses.
+	NodeAddrs []string
+
+	ln      net.Listener
+	mu      sync.Mutex
+	closed  bool
+	queryID atomic.Int32
+}
+
+// Start listens for clients on addr.
+func Start(addr string, nodeAddrs []string) (*Server, error) {
+	if len(nodeAddrs) == 0 {
+		return nil, fmt.Errorf("frontend: no back-end nodes configured")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: listen: %w", err)
+	}
+	s := &Server{NodeAddrs: nodeAddrs, ln: ln}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound client address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting clients.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.ln.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.handleClient(conn)
+	}
+}
+
+// handleClient serves one client connection: one query per frame until the
+// client disconnects.
+func (s *Server) handleClient(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		var spec QuerySpec
+		if err := ReadJSON(r, &spec); err != nil {
+			return
+		}
+		if err := s.runQuery(&spec, w); err != nil {
+			WriteJSON(w, &Message{Type: "error", Error: err.Error()})
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// runQuery fans the query out to every back-end node and merges the result
+// streams into w.
+func (s *Server) runQuery(spec *QuerySpec, w *bufio.Writer) error {
+	conns := make([]net.Conn, len(s.NodeAddrs))
+	for i, addr := range s.NodeAddrs {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				conns[j].Close()
+			}
+			return fmt.Errorf("frontend: dial node %d at %s: %w", i, addr, err)
+		}
+		conns[i] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	// Submit the query to every node under a fresh query id.
+	req := &NodeRequest{QueryID: s.queryID.Add(1), Spec: *spec}
+	for i, c := range conns {
+		if err := WriteJSON(c, req); err != nil {
+			return fmt.Errorf("frontend: submit to node %d: %w", i, err)
+		}
+	}
+
+	// Merge streams: forward chunk frames as they arrive, collect stats.
+	type nodeOutcome struct {
+		stats *DoneStats
+		err   error
+	}
+	var wmu sync.Mutex
+	outcomes := make([]nodeOutcome, len(conns))
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c net.Conn) {
+			defer wg.Done()
+			br := bufio.NewReader(c)
+			for {
+				var msg Message
+				if err := ReadJSON(br, &msg); err != nil {
+					outcomes[i].err = fmt.Errorf("frontend: node %d stream: %w", i, err)
+					return
+				}
+				switch msg.Type {
+				case "chunk":
+					wmu.Lock()
+					err := WriteJSON(w, &msg)
+					wmu.Unlock()
+					if err != nil {
+						outcomes[i].err = err
+						return
+					}
+				case "done":
+					outcomes[i].stats = msg.Stats
+					return
+				case "error":
+					outcomes[i].err = fmt.Errorf("node %d: %s", i, msg.Error)
+					return
+				default:
+					outcomes[i].err = fmt.Errorf("node %d: unknown frame %q", i, msg.Type)
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	total := DoneStats{Node: -1, TotalNodes: len(conns)}
+	for i := range outcomes {
+		if outcomes[i].err != nil {
+			return outcomes[i].err
+		}
+		st := outcomes[i].stats
+		total.Chunks += st.Chunks
+		total.BytesRead += st.BytesRead
+		total.BytesSent += st.BytesSent
+		total.BytesRecv += st.BytesRecv
+		total.AggOps += st.AggOps
+		if st.ElapsedMS > total.ElapsedMS {
+			total.ElapsedMS = st.ElapsedMS
+		}
+	}
+	wmu.Lock()
+	defer wmu.Unlock()
+	return WriteJSON(w, &Message{Type: "done", Stats: &total})
+}
+
+// Client is a minimal front-end client, used by cmd/adr-query and tests.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a front-end.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Query submits a query and collects the full result stream.
+func (c *Client) Query(spec *QuerySpec) ([]*ChunkJSON, *DoneStats, error) {
+	if err := WriteJSON(c.conn, spec); err != nil {
+		return nil, nil, err
+	}
+	var chunks []*ChunkJSON
+	for {
+		var msg Message
+		if err := ReadJSON(c.r, &msg); err != nil {
+			return chunks, nil, err
+		}
+		switch msg.Type {
+		case "chunk":
+			chunks = append(chunks, msg.Chunk)
+		case "done":
+			return chunks, msg.Stats, nil
+		case "error":
+			return chunks, nil, fmt.Errorf("frontend: %s", msg.Error)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adr/internal/space"
+)
+
+func TestGridIndexMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	entries := randEntries(rng, 600, 2)
+	gi, err := NewGridIndex(space.R(0, 100, 0, 100), entries, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Len() != 600 {
+		t.Fatalf("Len = %d", gi.Len())
+	}
+	lin := NewLinear(entries)
+	for q := 0; q < 200; q++ {
+		query := randQuery(rng, 2)
+		if !sameIDs(gi.Search(query), lin.Search(query)) {
+			t.Fatalf("query %v: grid and linear disagree", query)
+		}
+	}
+}
+
+func TestQuickGridIndexMatchesRTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	entries := randEntries(rng, 400, 2)
+	gi, err := NewGridIndex(space.R(0, 100, 0, 100), entries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := BulkLoad(entries, 0)
+	f := func() bool {
+		q := randQuery(rng, 2)
+		return sameIDs(gi.Search(q), rt.Search(q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridIndexDedupAcrossCells(t *testing.T) {
+	// An entry spanning many cells must be reported once.
+	entries := []Entry{{MBR: space.R(0, 100, 0, 100), ID: 7}}
+	gi, err := NewGridIndex(space.R(0, 100, 0, 100), entries, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := gi.Search(space.R(10, 90, 10, 90))
+	if len(got) != 1 || got[0] != 7 {
+		t.Errorf("Search = %v", got)
+	}
+}
+
+func TestGridIndexHigherDimsFiltered(t *testing.T) {
+	// 3-D entries: the grid only buckets on x/y; z is filtered exactly.
+	entries := []Entry{
+		{MBR: space.R(0, 1, 0, 1, 0, 1), ID: 0},
+		{MBR: space.R(0, 1, 0, 1, 5, 6), ID: 1},
+	}
+	gi, err := NewGridIndex(space.R(0, 10, 0, 10, 0, 10), entries, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := gi.Search(space.R(0, 1, 0, 1, 0, 2))
+	if len(got) != 1 || got[0] != 0 {
+		t.Errorf("z-filter failed: %v", got)
+	}
+	got = gi.Search(space.R(0, 1, 0, 1, 0, 10))
+	if len(got) != 2 {
+		t.Errorf("full-z query = %v", got)
+	}
+}
+
+func TestGridIndexValidation(t *testing.T) {
+	if _, err := NewGridIndex(space.Rect{}, nil, 8); err == nil {
+		t.Error("empty bounds should fail")
+	}
+	if _, err := NewGridIndex(space.R(0, 1), nil, 8); err == nil {
+		t.Error("1-D bounds should fail")
+	}
+	bad := []Entry{{MBR: space.R(0, 1), ID: 0}}
+	if _, err := NewGridIndex(space.R(0, 1, 0, 1), bad, 8); err == nil {
+		t.Error("1-D entry should fail")
+	}
+}
+
+func TestGridIndexBucketStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	entries := randEntries(rng, 300, 2)
+	gi, err := NewGridIndex(space.R(0, 100, 0, 100), entries, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen, mean := gi.BucketStats()
+	if maxLen < 1 || mean < 1 {
+		t.Errorf("stats = %d, %g", maxLen, mean)
+	}
+	empty, err := NewGridIndex(space.R(0, 1, 0, 1), nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, a := empty.BucketStats(); m != 0 || a != 0 {
+		t.Errorf("empty stats = %d, %g", m, a)
+	}
+}
+
+func BenchmarkGridIndexSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(64))
+	entries := randEntries(rng, 100000, 2)
+	gi, err := NewGridIndex(space.R(0, 100, 0, 100), entries, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]space.Rect, 64)
+	for i := range queries {
+		queries[i] = randQuery(rng, 2)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gi.Search(queries[i%len(queries)])
+	}
+}

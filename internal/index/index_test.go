@@ -1,0 +1,206 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adr/internal/chunk"
+	"adr/internal/space"
+)
+
+// randEntries produces n random small rectangles in [0,100]^dims.
+func randEntries(rng *rand.Rand, n, dims int) []Entry {
+	entries := make([]Entry, n)
+	for i := range entries {
+		var bounds []float64
+		for d := 0; d < dims; d++ {
+			lo := rng.Float64() * 95
+			bounds = append(bounds, lo, lo+rng.Float64()*5)
+		}
+		entries[i] = Entry{MBR: space.R(bounds...), ID: chunk.ID(i)}
+	}
+	return entries
+}
+
+func randQuery(rng *rand.Rand, dims int) space.Rect {
+	var bounds []float64
+	for d := 0; d < dims; d++ {
+		lo := rng.Float64() * 80
+		bounds = append(bounds, lo, lo+rng.Float64()*30)
+	}
+	return space.R(bounds...)
+}
+
+func sameIDs(a, b []chunk.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLinearSearch(t *testing.T) {
+	entries := []Entry{
+		{MBR: space.R(0, 1, 0, 1), ID: 0},
+		{MBR: space.R(2, 3, 2, 3), ID: 1},
+		{MBR: space.R(0.5, 2.5, 0.5, 2.5), ID: 2},
+	}
+	l := NewLinear(entries)
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	got := l.Search(space.R(0, 1, 0, 1))
+	if !sameIDs(got, []chunk.ID{0, 2}) {
+		t.Errorf("Search = %v", got)
+	}
+	if got := l.Search(space.R(10, 11, 10, 11)); got != nil {
+		t.Errorf("empty query = %v", got)
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr := BulkLoad(nil, 0)
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Errorf("empty tree Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.Search(space.R(0, 1)); got != nil {
+		t.Errorf("empty tree Search = %v", got)
+	}
+}
+
+func TestBulkLoadStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	entries := randEntries(rng, 1000, 2)
+	tr := BulkLoad(entries, 8)
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Validate() {
+		t.Fatal("tree invariants violated after bulk load")
+	}
+	// 1000 entries at fanout 8: leaves=125, level2=16, level3=2, root -> 4 levels.
+	if h := tr.Height(); h != 4 {
+		t.Errorf("Height = %d, want 4", h)
+	}
+}
+
+func TestRTreeMatchesLinear(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		rng := rand.New(rand.NewSource(int64(100 + dims)))
+		entries := randEntries(rng, 500, dims)
+		tr := BulkLoad(entries, 16)
+		lin := NewLinear(entries)
+		for q := 0; q < 100; q++ {
+			query := randQuery(rng, dims)
+			got, want := tr.Search(query), lin.Search(query)
+			if !sameIDs(got, want) {
+				t.Fatalf("dims=%d query %v: rtree %v, linear %v", dims, query, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickRTreeMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	entries := randEntries(rng, 300, 2)
+	tr := BulkLoad(entries, 10)
+	lin := NewLinear(entries)
+	f := func() bool {
+		q := randQuery(rng, 2)
+		return sameIDs(tr.Search(q), lin.Search(q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	entries := randEntries(rng, 400, 2)
+	tr := &RTree{fanout: 8}
+	for _, e := range entries {
+		tr.Insert(e)
+	}
+	if tr.Len() != 400 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Validate() {
+		t.Fatal("tree invariants violated after inserts")
+	}
+	lin := NewLinear(entries)
+	for q := 0; q < 100; q++ {
+		query := randQuery(rng, 2)
+		if !sameIDs(tr.Search(query), lin.Search(query)) {
+			t.Fatalf("query %v mismatch after inserts", query)
+		}
+	}
+}
+
+func TestInsertIntoBulkLoaded(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	base := randEntries(rng, 200, 2)
+	tr := BulkLoad(base, 8)
+	extra := randEntries(rng, 200, 2)
+	for i := range extra {
+		extra[i].ID += 1000
+		tr.Insert(extra[i])
+	}
+	all := append(append([]Entry(nil), base...), extra...)
+	lin := NewLinear(all)
+	if tr.Len() != 400 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for q := 0; q < 100; q++ {
+		query := randQuery(rng, 2)
+		if !sameIDs(tr.Search(query), lin.Search(query)) {
+			t.Fatalf("query %v mismatch after mixed load", query)
+		}
+	}
+	if !tr.Validate() {
+		t.Fatal("invariants violated")
+	}
+}
+
+func TestSearchCoversWholeSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	entries := randEntries(rng, 250, 2)
+	tr := BulkLoad(entries, 16)
+	got := tr.Search(space.R(-1000, 1000, -1000, 1000))
+	if len(got) != 250 {
+		t.Errorf("whole-space query returned %d of 250", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("results not in ascending ID order")
+		}
+	}
+}
+
+func BenchmarkRTreeSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	entries := randEntries(rng, 100000, 2)
+	tr := BulkLoad(entries, DefaultFanout)
+	queries := make([]space.Rect, 64)
+	for i := range queries {
+		queries[i] = randQuery(rng, 2)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Search(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	entries := randEntries(rng, 50000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(entries, DefaultFanout)
+	}
+}

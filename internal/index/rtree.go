@@ -1,0 +1,280 @@
+package index
+
+import (
+	"sort"
+
+	"adr/internal/chunk"
+	"adr/internal/hilbert"
+	"adr/internal/space"
+)
+
+// RTree is a Hilbert-packed R-tree over chunk MBRs. Bulk loading sorts the
+// entries by the Hilbert index of their MBR mid-points and packs them into
+// nodes bottom-up, which yields well-clustered leaves for the spatially
+// declustered chunk layouts ADR produces (the same locality argument the
+// paper makes for Hilbert-ordered tiling, §3). Dynamic Insert is supported
+// for datasets that grow after loading (query outputs stored back into ADR).
+type RTree struct {
+	root    *rnode
+	fanout  int
+	count   int
+	maxDims int
+}
+
+type rnode struct {
+	mbr      space.Rect
+	leaf     bool
+	entries  []Entry  // leaf payload
+	children []*rnode // internal payload
+}
+
+// DefaultFanout is the node capacity used when callers pass fanout <= 0. 16
+// keeps trees shallow for the catalog sizes in the paper (up to ~144K
+// chunks: 4 levels) while keeping per-node scans cheap.
+const DefaultFanout = 16
+
+// BulkLoad builds an R-tree over entries. All MBRs must share a
+// dimensionality. The input slice is not retained.
+func BulkLoad(entries []Entry, fanout int) *RTree {
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	t := &RTree{fanout: fanout}
+	if len(entries) == 0 {
+		return t
+	}
+	t.maxDims = entries[0].MBR.Dims
+	t.count = len(entries)
+
+	sorted := make([]Entry, len(entries))
+	copy(sorted, entries)
+	sortByHilbert(sorted)
+
+	// Pack leaves.
+	var level []*rnode
+	for i := 0; i < len(sorted); i += fanout {
+		end := i + fanout
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		n := &rnode{leaf: true, entries: append([]Entry(nil), sorted[i:end]...)}
+		for _, e := range n.entries {
+			n.mbr = n.mbr.Union(e.MBR)
+		}
+		level = append(level, n)
+	}
+	// Pack upward until a single root remains.
+	for len(level) > 1 {
+		var next []*rnode
+		for i := 0; i < len(level); i += fanout {
+			end := i + fanout
+			if end > len(level) {
+				end = len(level)
+			}
+			n := &rnode{children: append([]*rnode(nil), level[i:end]...)}
+			for _, c := range n.children {
+				n.mbr = n.mbr.Union(c.mbr)
+			}
+			next = append(next, n)
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+// sortByHilbert orders entries by the Hilbert index of their MBR mid-points,
+// quantized over the union of all MBRs. Falls back to ID order when a curve
+// cannot be built (degenerate bounds).
+func sortByHilbert(entries []Entry) {
+	var bounds space.Rect
+	for _, e := range entries {
+		bounds = bounds.Union(e.MBR)
+	}
+	q, err := hilbert.NewQuantizer(bounds, hilbert.OrderFor(bounds.Dims))
+	if err != nil {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+		return
+	}
+	keys := make([]uint64, len(entries))
+	for i, e := range entries {
+		k, err := q.Index(e.MBR.Center())
+		if err != nil {
+			k = uint64(e.ID)
+		}
+		keys[i] = k
+	}
+	idx := make([]int, len(entries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if keys[idx[a]] != keys[idx[b]] {
+			return keys[idx[a]] < keys[idx[b]]
+		}
+		return entries[idx[a]].ID < entries[idx[b]].ID
+	})
+	out := make([]Entry, len(entries))
+	for i, j := range idx {
+		out[i] = entries[j]
+	}
+	copy(entries, out)
+}
+
+// Search returns the IDs of all entries whose MBRs intersect query, in
+// ascending ID order.
+func (t *RTree) Search(query space.Rect) []chunk.ID {
+	if t.root == nil {
+		return nil
+	}
+	var out []chunk.ID
+	var walk func(n *rnode)
+	walk = func(n *rnode) {
+		if !n.mbr.Intersects(query) {
+			return
+		}
+		if n.leaf {
+			for _, e := range n.entries {
+				if e.MBR.Intersects(query) {
+					out = append(out, e.ID)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of indexed entries.
+func (t *RTree) Len() int { return t.count }
+
+// Height returns the number of levels in the tree (0 for an empty tree).
+func (t *RTree) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.leaf {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// Insert adds one entry, growing the tree with a classic
+// smallest-enlargement descent and splitting overfull nodes by Hilbert
+// order of their contents.
+func (t *RTree) Insert(e Entry) {
+	t.count++
+	if t.root == nil {
+		t.maxDims = e.MBR.Dims
+		t.root = &rnode{leaf: true, entries: []Entry{e}, mbr: e.MBR}
+		return
+	}
+	split := t.insert(t.root, e)
+	if split != nil {
+		old := t.root
+		t.root = &rnode{children: []*rnode{old, split}, mbr: old.mbr.Union(split.mbr)}
+	}
+}
+
+// insert adds e under n and returns a new sibling if n split.
+func (t *RTree) insert(n *rnode, e Entry) *rnode {
+	n.mbr = n.mbr.Union(e.MBR)
+	if n.leaf {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.fanout {
+			return t.splitLeaf(n)
+		}
+		return nil
+	}
+	// Choose the child whose MBR needs least enlargement, breaking ties by
+	// smaller volume.
+	best, bestGrow, bestVol := -1, 0.0, 0.0
+	for i, c := range n.children {
+		grow := c.mbr.Union(e.MBR).Volume() - c.mbr.Volume()
+		vol := c.mbr.Volume()
+		if best < 0 || grow < bestGrow || (grow == bestGrow && vol < bestVol) {
+			best, bestGrow, bestVol = i, grow, vol
+		}
+	}
+	split := t.insert(n.children[best], e)
+	if split != nil {
+		n.children = append(n.children, split)
+		if len(n.children) > t.fanout {
+			return t.splitInternal(n)
+		}
+	}
+	return nil
+}
+
+func (t *RTree) splitLeaf(n *rnode) *rnode {
+	sortByHilbert(n.entries)
+	mid := len(n.entries) / 2
+	sib := &rnode{leaf: true, entries: append([]Entry(nil), n.entries[mid:]...)}
+	n.entries = n.entries[:mid]
+	n.mbr, sib.mbr = space.Rect{}, space.Rect{}
+	for _, e := range n.entries {
+		n.mbr = n.mbr.Union(e.MBR)
+	}
+	for _, e := range sib.entries {
+		sib.mbr = sib.mbr.Union(e.MBR)
+	}
+	return sib
+}
+
+func (t *RTree) splitInternal(n *rnode) *rnode {
+	sort.Slice(n.children, func(i, j int) bool {
+		a, b := n.children[i].mbr.Center(), n.children[j].mbr.Center()
+		for d := 0; d < a.Dims; d++ {
+			if a.Coords[d] != b.Coords[d] {
+				return a.Coords[d] < b.Coords[d]
+			}
+		}
+		return false
+	})
+	mid := len(n.children) / 2
+	sib := &rnode{children: append([]*rnode(nil), n.children[mid:]...)}
+	n.children = n.children[:mid]
+	n.mbr, sib.mbr = space.Rect{}, space.Rect{}
+	for _, c := range n.children {
+		n.mbr = n.mbr.Union(c.mbr)
+	}
+	for _, c := range sib.children {
+		sib.mbr = sib.mbr.Union(c.mbr)
+	}
+	return sib
+}
+
+// checkInvariants verifies structural invariants: every node MBR contains
+// its children's MBRs, leaves at uniform depth for bulk-loaded trees is NOT
+// guaranteed after Insert, so only containment and fanout are checked.
+// Exposed for tests via Validate.
+func (t *RTree) Validate() bool {
+	if t.root == nil {
+		return true
+	}
+	var walk func(n *rnode) bool
+	walk = func(n *rnode) bool {
+		if n.leaf {
+			for _, e := range n.entries {
+				if !n.mbr.ContainsRect(e.MBR) {
+					return false
+				}
+			}
+			return len(n.entries) <= t.fanout
+		}
+		for _, c := range n.children {
+			if !n.mbr.ContainsRect(c.mbr) || !walk(c) {
+				return false
+			}
+		}
+		return len(n.children) <= t.fanout
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,135 @@
+// Package metrics collects the per-node counters the paper's evaluation
+// plots: I/O volume, communication volume and per-phase computation time.
+// Counters are updated with atomics so the engine's pipelined goroutines can
+// record without coordination.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Phase indexes the four query-execution phases of §2.4.
+type Phase int
+
+const (
+	// Initialization allocates and initializes accumulator chunks.
+	Initialization Phase = iota
+	// LocalReduction aggregates local (and, for DA, forwarded) input chunks.
+	LocalReduction
+	// GlobalCombine merges ghost accumulators into their homes.
+	GlobalCombine
+	// OutputHandling finalizes accumulators into output chunks.
+	OutputHandling
+	numPhases
+)
+
+// String returns the paper's abbreviation for the phase (Table 1 uses
+// I–LR–GC–OH).
+func (p Phase) String() string {
+	switch p {
+	case Initialization:
+		return "I"
+	case LocalReduction:
+		return "LR"
+	case GlobalCombine:
+		return "GC"
+	case OutputHandling:
+		return "OH"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Node accumulates one back-end node's counters for one query.
+type Node struct {
+	BytesRead    atomic.Int64 // input + output chunks read from local disks
+	BytesWritten atomic.Int64 // output chunks written back
+	BytesSent    atomic.Int64 // payload bytes sent to other nodes
+	BytesRecv    atomic.Int64 // payload bytes received
+	ChunksRead   atomic.Int64
+	MsgsSent     atomic.Int64
+	MsgsRecv     atomic.Int64
+	// AggOps counts (input chunk, accumulator chunk) aggregation pairs —
+	// the unit the paper's LR compute cost is defined over.
+	AggOps     atomic.Int64
+	CombineOps atomic.Int64
+	phaseNanos [numPhases]atomic.Int64
+}
+
+// AddPhase records elapsed wall time attributed to a phase.
+func (n *Node) AddPhase(p Phase, d time.Duration) {
+	n.phaseNanos[p].Add(int64(d))
+}
+
+// PhaseTime returns the accumulated time for a phase.
+func (n *Node) PhaseTime(p Phase) time.Duration {
+	return time.Duration(n.phaseNanos[p].Load())
+}
+
+// ComputeTime returns the total time across all phases.
+func (n *Node) ComputeTime() time.Duration {
+	var total time.Duration
+	for p := Phase(0); p < numPhases; p++ {
+		total += n.PhaseTime(p)
+	}
+	return total
+}
+
+// CommBytes returns send+receive volume.
+func (n *Node) CommBytes() int64 {
+	return n.BytesSent.Load() + n.BytesRecv.Load()
+}
+
+// Snapshot is an immutable copy of a Node's counters, safe to aggregate and
+// serialize.
+type Snapshot struct {
+	BytesRead    int64
+	BytesWritten int64
+	BytesSent    int64
+	BytesRecv    int64
+	ChunksRead   int64
+	MsgsSent     int64
+	MsgsRecv     int64
+	AggOps       int64
+	CombineOps   int64
+	PhaseNanos   [4]int64
+}
+
+// Snapshot captures the current counter values.
+func (n *Node) Snapshot() Snapshot {
+	var s Snapshot
+	s.BytesRead = n.BytesRead.Load()
+	s.BytesWritten = n.BytesWritten.Load()
+	s.BytesSent = n.BytesSent.Load()
+	s.BytesRecv = n.BytesRecv.Load()
+	s.ChunksRead = n.ChunksRead.Load()
+	s.MsgsSent = n.MsgsSent.Load()
+	s.MsgsRecv = n.MsgsRecv.Load()
+	s.AggOps = n.AggOps.Load()
+	s.CombineOps = n.CombineOps.Load()
+	for p := 0; p < int(numPhases); p++ {
+		s.PhaseNanos[p] = n.phaseNanos[p].Load()
+	}
+	return s
+}
+
+// Add merges another snapshot into s.
+func (s *Snapshot) Add(o Snapshot) {
+	s.BytesRead += o.BytesRead
+	s.BytesWritten += o.BytesWritten
+	s.BytesSent += o.BytesSent
+	s.BytesRecv += o.BytesRecv
+	s.ChunksRead += o.ChunksRead
+	s.MsgsSent += o.MsgsSent
+	s.MsgsRecv += o.MsgsRecv
+	s.AggOps += o.AggOps
+	s.CombineOps += o.CombineOps
+	for p := range s.PhaseNanos {
+		s.PhaseNanos[p] += o.PhaseNanos[p]
+	}
+}
+
+// CommBytes returns send+receive volume for the snapshot.
+func (s Snapshot) CommBytes() int64 { return s.BytesSent + s.BytesRecv }

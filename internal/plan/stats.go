@@ -1,0 +1,77 @@
+package plan
+
+// Stats summarizes a plan: the quantities §3 and §4 reason about when
+// comparing strategies (tile counts, ghost allocations, forwarded input
+// chunks, repeated retrievals). The execution engines compute timing; these
+// are the structural counts that drive it.
+type Stats struct {
+	Tiles int
+	// GhostChunks is the total number of ghost accumulator allocations
+	// across all tiles and processors.
+	GhostChunks int
+	// GhostBytes is the total size of those allocations.
+	GhostBytes int64
+	// Forwards is the number of input-chunk transfers; ForwardBytes their
+	// volume.
+	Forwards     int
+	ForwardBytes int64
+	// Reads is the total number of input chunk retrievals; ReadBytes their
+	// volume. An input chunk appearing in k tiles is counted k times
+	// (§2.3: "an input chunk may be retrieved multiple times during
+	// execution of the processing loop").
+	Reads     int
+	ReadBytes int64
+	// RereadInputs counts input retrievals beyond the first per chunk —
+	// the tile-boundary-crossing cost the Hilbert tiling order minimizes.
+	RereadInputs int
+	// MaxProcReadBytes is the largest per-processor retrieval volume, an
+	// I/O balance indicator.
+	MaxProcReadBytes int64
+	// OutputShips counts finished output chunks homed away from their owner
+	// (hybrid only) that must be shipped during output handling.
+	OutputShips int
+}
+
+// ComputeStats derives Stats for a plan over its workload.
+func ComputeStats(p *Plan, w *Workload) Stats {
+	var s Stats
+	s.Tiles = len(p.Tiles)
+	seenRead := make(map[int32]bool)
+	procRead := make([]int64, p.Machine.Procs)
+	for _, t := range p.Tiles {
+		for q := range t.Ghosts {
+			for _, c := range t.Ghosts[q] {
+				s.GhostChunks++
+				s.GhostBytes += w.accSize(c)
+			}
+		}
+		for q := range t.Reads {
+			for _, i := range t.Reads[q] {
+				s.Reads++
+				s.ReadBytes += w.Inputs[i].Bytes
+				procRead[q] += w.Inputs[i].Bytes
+				if seenRead[i] {
+					s.RereadInputs++
+				}
+				seenRead[i] = true
+			}
+		}
+		for q := range t.Forwards {
+			for _, f := range t.Forwards[q] {
+				s.Forwards++
+				s.ForwardBytes += w.Inputs[f.Input].Bytes
+			}
+		}
+	}
+	for o, home := range p.Home {
+		if home != w.Outputs[o].Node {
+			s.OutputShips++
+		}
+	}
+	for _, b := range procRead {
+		if b > s.MaxProcReadBytes {
+			s.MaxProcReadBytes = b
+		}
+	}
+	return s
+}

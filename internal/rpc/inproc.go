@@ -1,0 +1,135 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// InprocFabric connects n nodes within one process. Each endpoint has one
+// buffered inbox; Send never blocks for longer than the inbox has room,
+// which models a bounded network buffer. Per-pair ordering follows from
+// channel FIFO semantics because every (src,dst) pair uses a single channel.
+type InprocFabric struct {
+	mu        sync.Mutex
+	endpoints []*inprocEndpoint
+	closed    bool
+}
+
+type inprocEndpoint struct {
+	fabric *InprocFabric
+	id     NodeID
+	inbox  chan Message
+	done   chan struct{}
+	once   sync.Once
+}
+
+// DefaultInboxDepth bounds the number of in-flight messages per receiving
+// node. Deep enough that a tile's ghost exchange never deadlocks the
+// pipelined engine, small enough to exert backpressure on runaway senders.
+const DefaultInboxDepth = 1024
+
+// NewInprocFabric builds a fabric of n in-process nodes. depth <= 0 selects
+// DefaultInboxDepth.
+func NewInprocFabric(n, depth int) (*InprocFabric, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rpc: fabric needs at least 1 node, got %d", n)
+	}
+	if depth <= 0 {
+		depth = DefaultInboxDepth
+	}
+	f := &InprocFabric{}
+	for i := 0; i < n; i++ {
+		f.endpoints = append(f.endpoints, &inprocEndpoint{
+			fabric: f,
+			id:     NodeID(i),
+			inbox:  make(chan Message, depth),
+			done:   make(chan struct{}),
+		})
+	}
+	return f, nil
+}
+
+// Endpoint returns node id's endpoint.
+func (f *InprocFabric) Endpoint(id NodeID) (Endpoint, error) {
+	if id < 0 || int(id) >= len(f.endpoints) {
+		return nil, fmt.Errorf("rpc: no endpoint %d in %d-node fabric", id, len(f.endpoints))
+	}
+	return f.endpoints[id], nil
+}
+
+// Close closes all endpoints.
+func (f *InprocFabric) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	for _, ep := range f.endpoints {
+		ep.close()
+	}
+	return nil
+}
+
+func (e *inprocEndpoint) Self() NodeID { return e.id }
+func (e *inprocEndpoint) Nodes() int   { return len(e.fabric.endpoints) }
+
+// Send routes m to its destination's inbox, blocking if the inbox is full
+// (backpressure) unless either side closes first.
+func (e *inprocEndpoint) Send(m Message) error {
+	if err := Validate(m, e.Nodes()); err != nil {
+		return err
+	}
+	if m.Src != e.id {
+		return fmt.Errorf("rpc: endpoint %d sending with src %d", e.id, m.Src)
+	}
+	dst := e.fabric.endpoints[m.Dst]
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case dst.inbox <- m:
+		return nil
+	case <-dst.done:
+		return ErrClosed
+	case <-e.done:
+		return ErrClosed
+	}
+}
+
+// Recv blocks for the next message.
+func (e *inprocEndpoint) Recv(ctx context.Context) (Message, error) {
+	select {
+	case m := <-e.inbox:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-e.inbox:
+		return m, nil
+	case <-e.done:
+		// Drain anything that raced with close so no message is lost.
+		select {
+		case m := <-e.inbox:
+			return m, nil
+		default:
+		}
+		return Message{}, ErrClosed
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+func (e *inprocEndpoint) close() {
+	e.once.Do(func() { close(e.done) })
+}
+
+// Close closes this endpoint only.
+func (e *inprocEndpoint) Close() error {
+	e.close()
+	return nil
+}

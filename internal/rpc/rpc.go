@@ -1,0 +1,91 @@
+// Package rpc is ADR's interprocessor communication layer. The original ADR
+// ran on an IBM SP with a message-passing runtime; this port replaces that
+// with a small custom RPC/message layer (no MPI) used by the execution
+// engine to exchange ghost accumulator chunks, forward input chunks, and run
+// the barriers between query-execution phases.
+//
+// The layer has two transports with identical semantics:
+//
+//   - inproc: every node is a goroutine group in one process; messages are
+//     delivered over buffered channels. This is the transport the examples
+//     and the in-process repository use.
+//   - tcp: every node is a process reachable over TCP; messages are framed
+//     with a fixed header. This is the transport behind cmd/adr-node.
+//
+// Semantics: messages between a pair of nodes are delivered in send order;
+// sends are asynchronous (buffered) so the engine can overlap communication
+// with disk I/O and processing, as the ADR query execution service does by
+// design (§2.4: "ADR overlaps disk operations, network operations and
+// processing as much as possible").
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a back-end node (processor) in [0, NumNodes).
+type NodeID int32
+
+// MsgType distinguishes engine message kinds. The engine defines its own
+// values; the transport only routes on Dst.
+type MsgType uint8
+
+// Message is one unit of interprocessor communication: an opaque payload
+// plus routing and demultiplexing metadata.
+type Message struct {
+	Src, Dst NodeID
+	Type     MsgType
+	// Query identifies which query's execution this message belongs to,
+	// letting one mesh carry several concurrent queries (the query
+	// execution service "manages all the resources in the system", §2.1 —
+	// including multiplexing the interconnect).
+	Query int32
+	// Tile lets receivers demultiplex traffic per tile iteration.
+	Tile int32
+	// Seq is a sender-assigned sequence/identifier (chunk position, barrier
+	// generation, ...), interpreted per Type.
+	Seq int32
+	// Payload is the message body (e.g. an encoded chunk). The transport
+	// does not copy it; senders must not mutate it after Send.
+	Payload []byte
+}
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("rpc: endpoint closed")
+
+// Endpoint is one node's connection to the communication fabric.
+type Endpoint interface {
+	// Self returns this endpoint's node id.
+	Self() NodeID
+	// Nodes returns the total number of nodes in the fabric.
+	Nodes() int
+	// Send enqueues a message to m.Dst. It is asynchronous: delivery order
+	// is preserved per (src, dst) pair but Send returns before the receiver
+	// consumes the message. Sending to self is allowed and loops back.
+	Send(m Message) error
+	// Recv blocks until a message arrives or the context is cancelled.
+	Recv(ctx context.Context) (Message, error)
+	// Close tears the endpoint down; blocked Recvs return ErrClosed.
+	Close() error
+}
+
+// Fabric is a set of connected endpoints, one per node.
+type Fabric interface {
+	// Endpoint returns node id's endpoint.
+	Endpoint(id NodeID) (Endpoint, error)
+	// Close closes every endpoint.
+	Close() error
+}
+
+// Validate checks a message's routing fields against a fabric size.
+func Validate(m Message, nodes int) error {
+	if m.Dst < 0 || int(m.Dst) >= nodes {
+		return fmt.Errorf("rpc: destination %d out of range [0,%d)", m.Dst, nodes)
+	}
+	if m.Src < 0 || int(m.Src) >= nodes {
+		return fmt.Errorf("rpc: source %d out of range [0,%d)", m.Src, nodes)
+	}
+	return nil
+}

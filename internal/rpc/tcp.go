@@ -1,0 +1,327 @@
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP transport: each node is a process with a listener; the fabric is a
+// full mesh of TCP connections. Node i dials every node j > i and accepts
+// connections from every node j < i, so each unordered pair shares exactly
+// one connection. A 4-byte handshake identifies the dialling node.
+//
+// Frame layout (little endian):
+//
+//	length  uint32  (bytes after this field)
+//	src     int32
+//	dst     int32
+//	type    uint8
+//	query   int32
+//	tile    int32
+//	seq     int32
+//	payload [length-21]byte
+const tcpHeaderLen = 21
+
+// MaxFrameBytes bounds a single message payload (64 MiB): far above any
+// chunk in the paper's applications, low enough to reject garbage lengths
+// from a confused peer.
+const MaxFrameBytes = 64 << 20
+
+// TCPNode is a single node's endpoint over the TCP mesh.
+type TCPNode struct {
+	self  NodeID
+	addrs []string
+	ln    net.Listener
+
+	inbox chan Message
+	done  chan struct{}
+	once  sync.Once
+
+	mu    sync.Mutex
+	conns map[NodeID]*tcpConn
+	wg    sync.WaitGroup
+}
+
+type tcpConn struct {
+	c      net.Conn
+	outbox chan Message
+}
+
+// TCPOptions tunes fabric establishment.
+type TCPOptions struct {
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// DialRetry is how long to keep retrying dials while the mesh comes up
+	// (default 30s). Peers start in arbitrary order.
+	DialRetry time.Duration
+	// InboxDepth bounds buffered inbound messages (default
+	// DefaultInboxDepth).
+	InboxDepth int
+}
+
+func (o *TCPOptions) defaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.DialRetry <= 0 {
+		o.DialRetry = 30 * time.Second
+	}
+	if o.InboxDepth <= 0 {
+		o.InboxDepth = DefaultInboxDepth
+	}
+}
+
+// NewTCPNode joins the mesh as node self. addrs lists every node's listen
+// address, indexed by node id; addrs[self] is this node's own listen
+// address (it may use port 0 only in single-node meshes, since peers must
+// know the port). The call blocks until the full mesh is established.
+func NewTCPNode(self NodeID, addrs []string, opts TCPOptions) (*TCPNode, error) {
+	if self < 0 || int(self) >= len(addrs) {
+		return nil, fmt.Errorf("rpc: node %d not in address list of %d", self, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s: %w", addrs[self], err)
+	}
+	return NewTCPNodeWithListener(self, addrs, ln, opts)
+}
+
+// NewTCPNodeWithListener is NewTCPNode with a pre-bound listener, so callers
+// (and tests) can reserve every node's port before any node starts dialling.
+func NewTCPNodeWithListener(self NodeID, addrs []string, ln net.Listener, opts TCPOptions) (*TCPNode, error) {
+	opts.defaults()
+	if self < 0 || int(self) >= len(addrs) {
+		ln.Close()
+		return nil, fmt.Errorf("rpc: node %d not in address list of %d", self, len(addrs))
+	}
+	n := &TCPNode{
+		self:  self,
+		addrs: addrs,
+		ln:    ln,
+		inbox: make(chan Message, opts.InboxDepth),
+		done:  make(chan struct{}),
+		conns: make(map[NodeID]*tcpConn),
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(addrs))
+
+	// Accept connections from lower-numbered peers.
+	expectAccepts := int(self)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < expectAccepts; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				errs <- fmt.Errorf("rpc: accept: %w", err)
+				return
+			}
+			var hdr [4]byte
+			if _, err := io.ReadFull(c, hdr[:]); err != nil {
+				errs <- fmt.Errorf("rpc: handshake read: %w", err)
+				c.Close()
+				return
+			}
+			peer := NodeID(int32(binary.LittleEndian.Uint32(hdr[:])))
+			if peer < 0 || int(peer) >= len(addrs) || peer >= self {
+				errs <- fmt.Errorf("rpc: unexpected handshake from node %d", peer)
+				c.Close()
+				return
+			}
+			n.addConn(peer, c)
+		}
+	}()
+
+	// Dial higher-numbered peers.
+	for peer := int(self) + 1; peer < len(addrs); peer++ {
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			deadline := time.Now().Add(opts.DialRetry)
+			for {
+				c, err := net.DialTimeout("tcp", addrs[peer], opts.DialTimeout)
+				if err == nil {
+					var hdr [4]byte
+					binary.LittleEndian.PutUint32(hdr[:], uint32(self))
+					if _, err := c.Write(hdr[:]); err != nil {
+						errs <- fmt.Errorf("rpc: handshake write to %d: %w", peer, err)
+						c.Close()
+						return
+					}
+					n.addConn(NodeID(peer), c)
+					return
+				}
+				if time.Now().After(deadline) {
+					errs <- fmt.Errorf("rpc: dial node %d at %s: %w", peer, addrs[peer], err)
+					return
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+		}(peer)
+	}
+
+	wg.Wait()
+	select {
+	case err := <-errs:
+		n.Close()
+		return nil, err
+	default:
+	}
+	return n, nil
+}
+
+// Addr returns the node's bound listen address.
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+func (n *TCPNode) addConn(peer NodeID, c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	conn := &tcpConn{c: c, outbox: make(chan Message, 64)}
+	n.mu.Lock()
+	n.conns[peer] = conn
+	n.mu.Unlock()
+
+	n.wg.Add(2)
+	go n.writeLoop(conn)
+	go n.readLoop(conn)
+}
+
+func (n *TCPNode) writeLoop(conn *tcpConn) {
+	defer n.wg.Done()
+	var hdr [4 + tcpHeaderLen]byte
+	for {
+		select {
+		case m := <-conn.outbox:
+			binary.LittleEndian.PutUint32(hdr[0:], uint32(tcpHeaderLen+len(m.Payload)))
+			binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Src))
+			binary.LittleEndian.PutUint32(hdr[8:], uint32(m.Dst))
+			hdr[12] = byte(m.Type)
+			binary.LittleEndian.PutUint32(hdr[13:], uint32(m.Query))
+			binary.LittleEndian.PutUint32(hdr[17:], uint32(m.Tile))
+			binary.LittleEndian.PutUint32(hdr[21:], uint32(m.Seq))
+			if _, err := conn.c.Write(hdr[:]); err != nil {
+				return
+			}
+			if len(m.Payload) > 0 {
+				if _, err := conn.c.Write(m.Payload); err != nil {
+					return
+				}
+			}
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *TCPNode) readLoop(conn *tcpConn) {
+	defer n.wg.Done()
+	var hdr [4 + tcpHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(conn.c, hdr[:]); err != nil {
+			return
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:])
+		if length < tcpHeaderLen || length > MaxFrameBytes {
+			return
+		}
+		m := Message{
+			Src:   NodeID(int32(binary.LittleEndian.Uint32(hdr[4:]))),
+			Dst:   NodeID(int32(binary.LittleEndian.Uint32(hdr[8:]))),
+			Type:  MsgType(hdr[12]),
+			Query: int32(binary.LittleEndian.Uint32(hdr[13:])),
+			Tile:  int32(binary.LittleEndian.Uint32(hdr[17:])),
+			Seq:   int32(binary.LittleEndian.Uint32(hdr[21:])),
+		}
+		if payloadLen := int(length) - tcpHeaderLen; payloadLen > 0 {
+			m.Payload = make([]byte, payloadLen)
+			if _, err := io.ReadFull(conn.c, m.Payload); err != nil {
+				return
+			}
+		}
+		select {
+		case n.inbox <- m:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// Self returns this node's id.
+func (n *TCPNode) Self() NodeID { return n.self }
+
+// Nodes returns the mesh size.
+func (n *TCPNode) Nodes() int { return len(n.addrs) }
+
+// Send routes m; self-sends loop back through the inbox.
+func (n *TCPNode) Send(m Message) error {
+	if err := Validate(m, n.Nodes()); err != nil {
+		return err
+	}
+	if m.Src != n.self {
+		return fmt.Errorf("rpc: node %d sending with src %d", n.self, m.Src)
+	}
+	if m.Dst == n.self {
+		select {
+		case n.inbox <- m:
+			return nil
+		case <-n.done:
+			return ErrClosed
+		}
+	}
+	n.mu.Lock()
+	conn, ok := n.conns[m.Dst]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("rpc: no connection to node %d", m.Dst)
+	}
+	select {
+	case conn.outbox <- m:
+		return nil
+	case <-n.done:
+		return ErrClosed
+	}
+}
+
+// Recv blocks for the next inbound message.
+func (n *TCPNode) Recv(ctx context.Context) (Message, error) {
+	select {
+	case m := <-n.inbox:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-n.inbox:
+		return m, nil
+	case <-n.done:
+		select {
+		case m := <-n.inbox:
+			return m, nil
+		default:
+		}
+		return Message{}, ErrClosed
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+// Close tears down the node: listener, connections, loops.
+func (n *TCPNode) Close() error {
+	n.once.Do(func() {
+		close(n.done)
+		n.ln.Close()
+		n.mu.Lock()
+		for _, c := range n.conns {
+			c.c.Close()
+		}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+	return nil
+}

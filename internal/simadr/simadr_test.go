@@ -1,0 +1,451 @@
+package simadr_test
+
+import (
+	"math"
+	"testing"
+
+	"adr/internal/chunk"
+	"adr/internal/emulator"
+	"adr/internal/plan"
+	"adr/internal/simadr"
+	"adr/internal/space"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// tinyWorkload: one output chunk on node 0, two input chunks on node 0.
+func tinyWorkload() *plan.Workload {
+	return &plan.Workload{
+		Outputs: []chunk.Meta{{ID: 0, MBR: space.R(0, 1, 0, 1), Bytes: 1000, Node: 0, Disk: 0}},
+		Inputs: []chunk.Meta{
+			{ID: 0, MBR: space.R(0, 1, 0, 1), Bytes: 1e6, Node: 0, Disk: 0},
+			{ID: 1, MBR: space.R(0, 1, 0, 1), Bytes: 1e6, Node: 0, Disk: 0},
+		},
+		Targets: [][]int32{{0}, {0}},
+	}
+}
+
+func planFor(t *testing.T, s plan.Strategy, w *plan.Workload, procs int) *plan.Plan {
+	t.Helper()
+	pl, err := plan.NewPlanner(plan.Machine{Procs: procs, AccMemBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pl.Plan(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestHandComputedSingleNode checks the simulator against an exact
+// hand-derived schedule: disk reads pipeline with CPU aggregation.
+func TestHandComputedSingleNode(t *testing.T) {
+	w := tinyWorkload()
+	p := planFor(t, plan.FRA, w, 1)
+	opts := simadr.Options{
+		Machine: simadr.Machine{
+			Procs: 1, DisksPerNode: 1,
+			DiskSeekSec: 0.01, DiskBWBytes: 1e6,
+			NetLatencySec: 0.0005, NetBWBytes: 110e6,
+		},
+		Costs:   simadr.Costs{Init: 0.1, LR: 0.5, GC: 0.0, OH: 0.2},
+		Overlap: true,
+	}
+	res, err := simadr.Simulate(p, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timeline: reads complete at 1.01 and 2.02 (seek 10ms + 1s transfer,
+	// serial on one disk). CPU: init [0, 0.1], agg1 [1.01, 1.51],
+	// agg2 [2.02, 2.52], output [2.52, 2.72].
+	if !approx(res.ExecSec, 2.72, 1e-9) {
+		t.Errorf("ExecSec = %.6f, want 2.72", res.ExecSec)
+	}
+	n := res.Nodes[0]
+	if n.ChunksRead != 2 || n.BytesRead != 2e6 {
+		t.Errorf("I/O accounting: %d chunks, %d bytes", n.ChunksRead, n.BytesRead)
+	}
+	if n.AggPairs != 2 {
+		t.Errorf("AggPairs = %d", n.AggPairs)
+	}
+	if !approx(n.PhaseComputeSec[0], 0.1, 1e-12) ||
+		!approx(n.PhaseComputeSec[1], 1.0, 1e-12) ||
+		!approx(n.PhaseComputeSec[3], 0.2, 1e-12) {
+		t.Errorf("phase compute = %v", n.PhaseComputeSec)
+	}
+	if n.CommBytes() != 0 {
+		t.Errorf("single node communicated %d bytes", n.CommBytes())
+	}
+}
+
+// TestHandComputedForward checks DA input forwarding timing across nodes.
+func TestHandComputedForward(t *testing.T) {
+	w := &plan.Workload{
+		// Output owned by node 1; input on node 0.
+		Outputs: []chunk.Meta{{ID: 0, MBR: space.R(0, 1, 0, 1), Bytes: 1000, Node: 1, Disk: 1}},
+		Inputs:  []chunk.Meta{{ID: 0, MBR: space.R(0, 1, 0, 1), Bytes: 1e6, Node: 0, Disk: 0}},
+		Targets: [][]int32{{0}},
+	}
+	p := planFor(t, plan.DA, w, 2)
+	opts := simadr.Options{
+		Machine: simadr.Machine{
+			Procs: 2, DisksPerNode: 1,
+			DiskSeekSec: 0.01, DiskBWBytes: 1e6,
+			NetLatencySec: 0.001, NetBWBytes: 1e6,
+		},
+		Costs:   simadr.Costs{Init: 0.1, LR: 0.5, GC: 0, OH: 0.2},
+		Overlap: true,
+	}
+	res, err := simadr.Simulate(p, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0: read done 1.01, send occupies out-link 1.01..2.01, latency to
+	// 2.011, node 1 in-link 2.011..3.011, aggregation on node 1 CPU
+	// 3.011..3.511 (init finished at 0.1), output 3.511..3.711.
+	if !approx(res.ExecSec, 3.711, 1e-9) {
+		t.Errorf("ExecSec = %.6f, want 3.711", res.ExecSec)
+	}
+	if res.Nodes[0].BytesSent != 1e6 || res.Nodes[1].BytesRecv != 1e6 {
+		t.Errorf("transfer accounting: sent %d recv %d",
+			res.Nodes[0].BytesSent, res.Nodes[1].BytesRecv)
+	}
+	if res.Nodes[1].AggPairs != 1 {
+		t.Errorf("node 1 AggPairs = %d", res.Nodes[1].AggPairs)
+	}
+}
+
+// TestGhostCombineTiming checks FRA's global combine across two nodes.
+func TestGhostCombineTiming(t *testing.T) {
+	w := &plan.Workload{
+		Outputs: []chunk.Meta{{ID: 0, MBR: space.R(0, 1, 0, 1), Bytes: 1e6, Node: 0, Disk: 0}},
+		Inputs:  []chunk.Meta{{ID: 0, MBR: space.R(0, 1, 0, 1), Bytes: 1e6, Node: 1, Disk: 1}},
+		Targets: [][]int32{{0}},
+	}
+	p := planFor(t, plan.FRA, w, 2)
+	opts := simadr.Options{
+		Machine: simadr.Machine{
+			Procs: 2, DisksPerNode: 1,
+			DiskSeekSec: 0, DiskBWBytes: 1e6,
+			NetLatencySec: 0, NetBWBytes: 1e6,
+		},
+		Costs:   simadr.Costs{Init: 0, LR: 0.5, GC: 0.25, OH: 0.1},
+		Overlap: true,
+	}
+	res, err := simadr.Simulate(p, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 (ghost holder): read 0..1, agg 1..1.5, ghost send (1MB acc)
+	// 1.5..2.5. Node 0: receives 2.5..3.5 on in-link, combine 3.5..3.75,
+	// output 3.75..3.85.
+	if !approx(res.ExecSec, 3.85, 1e-9) {
+		t.Errorf("ExecSec = %.6f, want 3.85", res.ExecSec)
+	}
+	if res.Nodes[1].BytesSent != 1e6 {
+		t.Errorf("ghost bytes sent = %d", res.Nodes[1].BytesSent)
+	}
+}
+
+// TestConservation: on any emulator scenario, bytes sent == bytes received
+// and every aggregation pair runs exactly once.
+func TestConservation(t *testing.T) {
+	for _, app := range emulator.Apps {
+		s, err := emulator.Generate(emulator.Params{App: app, Procs: 8, Scale: 0.125, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wantPairs int64
+		for i := range s.Workload.Inputs {
+			wantPairs += int64(len(s.Workload.Targets[i]))
+		}
+		for _, strat := range []plan.Strategy{plan.FRA, plan.SRA, plan.DA} {
+			p := planFor(t, strat, s.Workload, 8)
+			res, err := simadr.Simulate(p, s.Workload, simadr.Options{
+				Machine: simadr.DefaultMachine(8),
+				Costs:   s.Costs,
+				Overlap: true,
+			})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", app, strat, err)
+			}
+			var sent, recv, pairs int64
+			for _, n := range res.Nodes {
+				sent += n.BytesSent
+				recv += n.BytesRecv
+				pairs += n.AggPairs
+			}
+			if sent != recv {
+				t.Errorf("%v/%v: sent %d != recv %d", app, strat, sent, recv)
+			}
+			if pairs != wantPairs {
+				t.Errorf("%v/%v: %d aggregation pairs, want %d", app, strat, pairs, wantPairs)
+			}
+			if res.ExecSec <= 0 {
+				t.Errorf("%v/%v: non-positive exec time", app, strat)
+			}
+		}
+	}
+}
+
+// TestDeterministicSimulation: identical inputs give identical results.
+func TestDeterministicSimulation(t *testing.T) {
+	s, err := emulator.Generate(emulator.Params{App: emulator.SAT, Procs: 4, Scale: 0.125, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := planFor(t, plan.DA, s.Workload, 4)
+	opts := simadr.Options{Machine: simadr.DefaultMachine(4), Costs: s.Costs, Overlap: true}
+	a, err := simadr.Simulate(p, s.Workload, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := simadr.Simulate(p, s.Workload, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ExecSec != b.ExecSec || a.Events != b.Events {
+		t.Errorf("simulation not deterministic: %g/%d vs %g/%d",
+			a.ExecSec, a.Events, b.ExecSec, b.Events)
+	}
+}
+
+// TestOverlapAblation: disabling ADR's operation-queue overlap must not
+// speed anything up, and should slow I/O+compute-heavy runs down.
+func TestOverlapAblation(t *testing.T) {
+	s, err := emulator.Generate(emulator.Params{App: emulator.WCS, Procs: 4, Scale: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := planFor(t, plan.FRA, s.Workload, 4)
+	base := simadr.Options{Machine: simadr.DefaultMachine(4), Costs: s.Costs, Overlap: true}
+	noOv := base
+	noOv.Overlap = false
+	with, err := simadr.Simulate(p, s.Workload, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := simadr.Simulate(p, s.Workload, noOv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.ExecSec < with.ExecSec {
+		t.Errorf("serialized execution %g faster than overlapped %g", without.ExecSec, with.ExecSec)
+	}
+	if without.ExecSec < 1.2*with.ExecSec {
+		t.Errorf("overlap saved only %g -> %g; expected a pipelining win",
+			without.ExecSec, with.ExecSec)
+	}
+}
+
+// TestStrategyShapes reproduces the qualitative §4 comparisons on a scaled-
+// down SAT scenario: DA communicates input volume that falls with P; FRA
+// communication per processor stays nearly flat; DA allocates no ghosts so
+// its initialization compute is smaller.
+func TestStrategyShapes(t *testing.T) {
+	commAt := func(procs int, strat plan.Strategy) (maxComm float64, res *simadr.Result) {
+		s, err := emulator.Generate(emulator.Params{App: emulator.SAT, Procs: procs, Scale: 0.25, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := plan.NewPlanner(plan.Machine{Procs: procs, AccMemBytes: 8 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := pl.Plan(strat, s.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err = simadr.Simulate(p, s.Workload, simadr.Options{
+			Machine: simadr.DefaultMachine(procs), Costs: s.Costs, Overlap: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.MaxCommBytes()), res
+	}
+
+	daComm4, _ := commAt(4, plan.DA)
+	daComm16, _ := commAt(16, plan.DA)
+	if daComm16 >= daComm4 {
+		t.Errorf("DA per-proc comm should fall with P: %g at 4, %g at 16", daComm4, daComm16)
+	}
+	fraComm4, _ := commAt(4, plan.FRA)
+	fraComm16, _ := commAt(16, plan.FRA)
+	ratio := fraComm16 / fraComm4
+	if ratio > 1.6 || ratio < 0.6 {
+		t.Errorf("FRA per-proc comm should stay nearly flat: %g at 4, %g at 16", fraComm4, fraComm16)
+	}
+
+	// Execution time decreases with more processors (Fig 8, fixed input).
+	_, r4 := commAt(4, plan.FRA)
+	_, r16 := commAt(16, plan.FRA)
+	if r16.ExecSec >= r4.ExecSec {
+		t.Errorf("FRA exec time should fall with P: %g at 4, %g at 16", r4.ExecSec, r16.ExecSec)
+	}
+}
+
+// TestSRABelowFRAPastFanIn: for VM (fan-in 16), SRA allocates fewer ghosts
+// than FRA once P exceeds the fan-in (§4: observed for VM at >= 32 procs).
+func TestSRABelowFRAPastFanIn(t *testing.T) {
+	procs := 32
+	s, err := emulator.Generate(emulator.Params{App: emulator.VM, Procs: procs, Scale: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := plan.NewPlanner(plan.Machine{Procs: procs, AccMemBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comm [2]int64
+	for k, strat := range []plan.Strategy{plan.FRA, plan.SRA} {
+		p, err := pl.Plan(strat, s.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := simadr.Simulate(p, s.Workload, simadr.Options{
+			Machine: simadr.DefaultMachine(procs), Costs: s.Costs, Overlap: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, n := range res.Nodes {
+			total += n.BytesSent
+		}
+		comm[k] = total
+	}
+	if comm[1] >= comm[0] {
+		t.Errorf("SRA comm %d should be below FRA %d at P=32 > fan-in=16", comm[1], comm[0])
+	}
+	if float64(comm[1]) > 0.7*float64(comm[0]) {
+		t.Errorf("SRA saving too small: %d vs %d", comm[1], comm[0])
+	}
+}
+
+// TestInitFromOutput adds the Fig 7 "communication for replicated output
+// blocks": FRA communication must rise when accumulators are seeded from an
+// existing output dataset.
+func TestInitFromOutput(t *testing.T) {
+	s, err := emulator.Generate(emulator.Params{App: emulator.WCS, Procs: 4, Scale: 0.25, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := planFor(t, plan.FRA, s.Workload, 4)
+	base := simadr.Options{Machine: simadr.DefaultMachine(4), Costs: s.Costs, Overlap: true}
+	seeded := base
+	seeded.InitFromOutput = true
+	a, err := simadr.Simulate(p, s.Workload, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := simadr.Simulate(p, s.Workload, seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commA, commB int64
+	for i := range a.Nodes {
+		commA += a.Nodes[i].BytesSent
+		commB += b.Nodes[i].BytesSent
+	}
+	if commB <= commA {
+		t.Errorf("InitFromOutput should add communication: %d vs %d", commB, commA)
+	}
+	if b.ExecSec <= a.ExecSec {
+		t.Errorf("InitFromOutput should cost time: %g vs %g", b.ExecSec, a.ExecSec)
+	}
+}
+
+// TestWriteBack adds output-handling disk writes.
+func TestWriteBack(t *testing.T) {
+	w := tinyWorkload()
+	p := planFor(t, plan.FRA, w, 1)
+	opts := simadr.Options{
+		Machine: simadr.DefaultMachine(1),
+		Costs:   simadr.Costs{},
+		Overlap: true,
+	}
+	a, err := simadr.Simulate(p, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.WriteBack = true
+	b, err := simadr.Simulate(p, w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Nodes[0].BytesWritten != 1000 {
+		t.Errorf("BytesWritten = %d", b.Nodes[0].BytesWritten)
+	}
+	if b.ExecSec <= a.ExecSec {
+		t.Errorf("write-back should cost time: %g vs %g", b.ExecSec, a.ExecSec)
+	}
+}
+
+// TestValidation covers option errors.
+func TestValidation(t *testing.T) {
+	w := tinyWorkload()
+	p := planFor(t, plan.FRA, w, 1)
+	bad := []simadr.Options{
+		{Machine: simadr.Machine{Procs: 0, DisksPerNode: 1, DiskBWBytes: 1, NetBWBytes: 1}},
+		{Machine: simadr.Machine{Procs: 1, DisksPerNode: 0, DiskBWBytes: 1, NetBWBytes: 1}},
+		{Machine: simadr.Machine{Procs: 1, DisksPerNode: 1, DiskBWBytes: 0, NetBWBytes: 1}},
+		{Machine: simadr.Machine{Procs: 1, DisksPerNode: 1, DiskBWBytes: 1, NetBWBytes: 1, DiskSeekSec: -1}},
+		{Machine: simadr.Machine{Procs: 1, DisksPerNode: 1, DiskBWBytes: 1, NetBWBytes: 1},
+			Costs: simadr.Costs{LR: -1}},
+	}
+	for i, o := range bad {
+		if _, err := simadr.Simulate(p, w, o); err == nil {
+			t.Errorf("options %d should fail", i)
+		}
+	}
+	// Proc mismatch between plan and machine.
+	if _, err := simadr.Simulate(p, w, simadr.Options{Machine: simadr.DefaultMachine(2)}); err == nil {
+		t.Error("plan/machine proc mismatch should fail")
+	}
+}
+
+// TestEmptyPlan runs a no-op query.
+func TestEmptyPlan(t *testing.T) {
+	w := &plan.Workload{}
+	p := planFor(t, plan.DA, w, 2)
+	res, err := simadr.Simulate(p, w, simadr.Options{Machine: simadr.DefaultMachine(2), Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecSec != 0 {
+		t.Errorf("empty plan took %g", res.ExecSec)
+	}
+}
+
+// TestMultiDiskSpeedsUpIOBound: VM is disk-bound on the default machine, so
+// doubling the disks per node should substantially cut execution time,
+// while leaving communication untouched.
+func TestMultiDiskSpeedsUpIOBound(t *testing.T) {
+	times := map[int]float64{}
+	for _, dpn := range []int{1, 2, 4} {
+		s, err := emulator.Generate(emulator.Params{
+			App: emulator.VM, Procs: 8, DisksPerNode: dpn, Scale: 0.5, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := planFor(t, plan.DA, s.Workload, 8)
+		m := simadr.DefaultMachine(8)
+		m.DisksPerNode = dpn
+		res, err := simadr.Simulate(p, s.Workload, simadr.Options{
+			Machine: m, Costs: s.Costs, Overlap: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[dpn] = res.ExecSec
+	}
+	if times[2] > 0.65*times[1] {
+		t.Errorf("2 disks: %.2fs vs %.2fs with 1 — expected a large I/O win", times[2], times[1])
+	}
+	if times[4] >= times[2] {
+		t.Errorf("4 disks (%.2fs) not faster than 2 (%.2fs)", times[4], times[2])
+	}
+}

@@ -1,0 +1,178 @@
+package space
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// AttrSpace describes a registered multi-dimensional attribute space: a name,
+// the number of dimensions, and the range of values in each dimension
+// (paper §2.1: "An attribute space is specified by the number of dimensions
+// and the range of values in each dimension").
+type AttrSpace struct {
+	Name   string
+	Bounds Rect
+}
+
+// Dims returns the dimensionality of the space.
+func (s AttrSpace) Dims() int { return s.Bounds.Dims }
+
+// Valid reports whether the space is well formed.
+func (s AttrSpace) Valid() error {
+	if s.Name == "" {
+		return fmt.Errorf("space: attribute space has empty name")
+	}
+	if s.Bounds.IsEmpty() {
+		return fmt.Errorf("space: attribute space %q has empty bounds", s.Name)
+	}
+	return nil
+}
+
+// Registry implements the attribute space service: it manages the
+// registration and lookup of attribute spaces and of user-defined mapping
+// functions between them. It is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	spaces   map[string]AttrSpace
+	mappings map[mappingKey]RectMapper
+}
+
+type mappingKey struct{ from, to string }
+
+// NewRegistry returns an empty attribute space registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		spaces:   make(map[string]AttrSpace),
+		mappings: make(map[mappingKey]RectMapper),
+	}
+}
+
+// Register adds an attribute space. Registering a name twice is an error:
+// spaces are immutable once datasets reference them.
+func (r *Registry) Register(s AttrSpace) error {
+	if err := s.Valid(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.spaces[s.Name]; ok {
+		return fmt.Errorf("space: attribute space %q already registered", s.Name)
+	}
+	r.spaces[s.Name] = s
+	return nil
+}
+
+// Lookup returns the attribute space with the given name.
+func (r *Registry) Lookup(name string) (AttrSpace, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.spaces[name]
+	return s, ok
+}
+
+// Names returns the registered space names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.spaces))
+	for n := range r.spaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RegisterMapping associates a user-defined mapping function with a pair of
+// attribute spaces. The mapping projects regions of the "from" (input) space
+// into the "to" (output) space; it is the chunk-granularity form of the
+// paper's Map function.
+func (r *Registry) RegisterMapping(from, to string, m RectMapper) error {
+	if m == nil {
+		return fmt.Errorf("space: nil mapping for %q -> %q", from, to)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.spaces[from]; !ok {
+		return fmt.Errorf("space: mapping source space %q not registered", from)
+	}
+	if _, ok := r.spaces[to]; !ok {
+		return fmt.Errorf("space: mapping target space %q not registered", to)
+	}
+	key := mappingKey{from, to}
+	if _, ok := r.mappings[key]; ok {
+		return fmt.Errorf("space: mapping %q -> %q already registered", from, to)
+	}
+	r.mappings[key] = m
+	return nil
+}
+
+// Mapping returns the registered mapping function between two spaces.
+func (r *Registry) Mapping(from, to string) (RectMapper, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.mappings[mappingKey{from, to}]
+	return m, ok
+}
+
+// RectMapper projects a bounding box in an input attribute space to the
+// bounding box of its image in an output attribute space. ADR uses this at
+// chunk granularity: the image of an input chunk's MBR, intersected with
+// output chunk MBRs, determines which accumulator chunks the input chunk
+// aggregates into (paper Fig 3, step 7: SA <- Map(ic) ∩ Ot).
+type RectMapper interface {
+	MapRect(Rect) Rect
+}
+
+// RectMapperFunc adapts a function to the RectMapper interface.
+type RectMapperFunc func(Rect) Rect
+
+// MapRect calls f.
+func (f RectMapperFunc) MapRect(r Rect) Rect { return f(r) }
+
+// IdentityMapper maps every rectangle to itself: input and output datasets
+// share an attribute space (e.g. the Virtual Microscope, where a region of
+// the slide maps onto the same region of the display grid).
+type IdentityMapper struct{}
+
+// MapRect returns r unchanged.
+func (IdentityMapper) MapRect(r Rect) Rect { return r }
+
+// AffineMapper maps rectangles by a per-dimension affine transform:
+// out[d] = in[d]*Scale[d] + Offset[d]. Dimensions beyond OutDims are
+// dropped (projection), which models e.g. projecting (lon, lat, time) sensor
+// readings onto a (lon, lat) composite-image grid.
+type AffineMapper struct {
+	OutDims int
+	Scale   [MaxDims]float64
+	Offset  [MaxDims]float64
+}
+
+// NewAffineMapper builds an AffineMapper with unit scale and zero offset for
+// outDims dimensions.
+func NewAffineMapper(outDims int) *AffineMapper {
+	m := &AffineMapper{OutDims: outDims}
+	for d := 0; d < outDims; d++ {
+		m.Scale[d] = 1
+	}
+	return m
+}
+
+// MapRect applies the affine transform to both corners of r.
+func (m *AffineMapper) MapRect(r Rect) Rect {
+	if r.IsEmpty() {
+		return Rect{}
+	}
+	var out Rect
+	out.Dims = m.OutDims
+	for d := 0; d < m.OutDims; d++ {
+		a := r.Lo[d]*m.Scale[d] + m.Offset[d]
+		b := r.Hi[d]*m.Scale[d] + m.Offset[d]
+		if a <= b {
+			out.Lo[d], out.Hi[d] = a, b
+		} else {
+			out.Lo[d], out.Hi[d] = b, a
+		}
+	}
+	return out
+}

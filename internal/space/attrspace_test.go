@@ -1,0 +1,134 @@
+package space
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	r := NewRegistry()
+	s := AttrSpace{Name: "earth", Bounds: R(-180, 180, -90, 90)}
+	if err := r.Register(s); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	got, ok := r.Lookup("earth")
+	if !ok || got.Name != "earth" || !got.Bounds.Equal(s.Bounds) {
+		t.Errorf("Lookup = %+v, %v", got, ok)
+	}
+	if _, ok := r.Lookup("mars"); ok {
+		t.Error("Lookup of unregistered space succeeded")
+	}
+}
+
+func TestRegistryDuplicate(t *testing.T) {
+	r := NewRegistry()
+	s := AttrSpace{Name: "x", Bounds: R(0, 1)}
+	if err := r.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(s); err == nil {
+		t.Error("duplicate Register should fail")
+	}
+}
+
+func TestRegistryInvalidSpace(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(AttrSpace{Name: "", Bounds: R(0, 1)}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := r.Register(AttrSpace{Name: "x"}); err == nil {
+		t.Error("empty bounds should fail")
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"c", "a", "b"} {
+		if err := r.Register(AttrSpace{Name: n, Bounds: R(0, 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := strings.Join(r.Names(), ",")
+	if got != "a,b,c" {
+		t.Errorf("Names = %q", got)
+	}
+}
+
+func TestRegistryMappings(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(AttrSpace{Name: "in", Bounds: R(0, 100, 0, 100, 0, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(AttrSpace{Name: "out", Bounds: R(0, 100, 0, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterMapping("in", "nosuch", IdentityMapper{}); err == nil {
+		t.Error("mapping to unregistered space should fail")
+	}
+	if err := r.RegisterMapping("nosuch", "out", IdentityMapper{}); err == nil {
+		t.Error("mapping from unregistered space should fail")
+	}
+	if err := r.RegisterMapping("in", "out", nil); err == nil {
+		t.Error("nil mapping should fail")
+	}
+	proj := NewAffineMapper(2)
+	if err := r.RegisterMapping("in", "out", proj); err != nil {
+		t.Fatalf("RegisterMapping: %v", err)
+	}
+	if err := r.RegisterMapping("in", "out", proj); err == nil {
+		t.Error("duplicate mapping should fail")
+	}
+	m, ok := r.Mapping("in", "out")
+	if !ok {
+		t.Fatal("Mapping lookup failed")
+	}
+	got := m.MapRect(R(0, 50, 10, 20, 0, 5))
+	if !got.Equal(R(0, 50, 10, 20)) {
+		t.Errorf("projection = %v", got)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			if err := r.Register(AttrSpace{Name: name, Bounds: R(0, 1)}); err != nil {
+				t.Errorf("Register %s: %v", name, err)
+			}
+			for j := 0; j < 100; j++ {
+				r.Lookup(name)
+				r.Names()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(r.Names()) != 8 {
+		t.Errorf("expected 8 spaces, got %d", len(r.Names()))
+	}
+}
+
+func TestIdentityMapper(t *testing.T) {
+	r := R(1, 2, 3, 4)
+	if got := (IdentityMapper{}).MapRect(r); !got.Equal(r) {
+		t.Errorf("identity returned %v", got)
+	}
+}
+
+func TestAffineMapper(t *testing.T) {
+	m := NewAffineMapper(2)
+	m.Scale[0], m.Offset[0] = 2, 10
+	m.Scale[1], m.Offset[1] = -1, 0 // negative scale flips lo/hi
+	got := m.MapRect(R(0, 5, 0, 5, 7, 8))
+	want := R(10, 20, -5, 0)
+	if !got.Equal(want) {
+		t.Errorf("affine = %v, want %v", got, want)
+	}
+	if !m.MapRect(Rect{}).IsEmpty() {
+		t.Error("affine of empty should be empty")
+	}
+}

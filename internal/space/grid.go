@@ -1,0 +1,165 @@
+package space
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid partitions an attribute space into a regular lattice of equal-sized
+// cells. ADR output datasets in the paper's evaluation are regular arrays
+// divided into rectangular regions (§4: "In all of these applications the
+// output datasets are regular arrays, hence each output dataset is divided
+// into regular multi-dimensional rectangular regions"); Grid produces those
+// regions and provides point→cell and cell→region arithmetic.
+type Grid struct {
+	Bounds Rect
+	// CellsPerDim is the number of cells along each dimension.
+	CellsPerDim [MaxDims]int
+}
+
+// NewGrid builds a grid over bounds with the given cell counts per dimension
+// (one count per dimension of bounds).
+func NewGrid(bounds Rect, cells ...int) (*Grid, error) {
+	if bounds.IsEmpty() {
+		return nil, fmt.Errorf("space: grid over empty bounds")
+	}
+	if len(cells) != bounds.Dims {
+		return nil, fmt.Errorf("space: grid needs %d cell counts, got %d", bounds.Dims, len(cells))
+	}
+	g := &Grid{Bounds: bounds}
+	for d, c := range cells {
+		if c <= 0 {
+			return nil, fmt.Errorf("space: dimension %d has non-positive cell count %d", d, c)
+		}
+		if bounds.Hi[d] <= bounds.Lo[d] {
+			return nil, fmt.Errorf("space: dimension %d has zero extent", d)
+		}
+		g.CellsPerDim[d] = c
+	}
+	return g, nil
+}
+
+// Dims returns the grid's dimensionality.
+func (g *Grid) Dims() int { return g.Bounds.Dims }
+
+// NumCells returns the total number of cells in the grid.
+func (g *Grid) NumCells() int {
+	n := 1
+	for d := 0; d < g.Dims(); d++ {
+		n *= g.CellsPerDim[d]
+	}
+	return n
+}
+
+// CellSize returns the extent of one cell along dimension d.
+func (g *Grid) CellSize(d int) float64 {
+	return (g.Bounds.Hi[d] - g.Bounds.Lo[d]) / float64(g.CellsPerDim[d])
+}
+
+// CellCoords returns the per-dimension cell indices of the cell containing
+// point p. Points on the upper boundary belong to the last cell.
+func (g *Grid) CellCoords(p Point) ([MaxDims]int, bool) {
+	var idx [MaxDims]int
+	if p.Dims != g.Dims() || !g.Bounds.Contains(p) {
+		return idx, false
+	}
+	for d := 0; d < g.Dims(); d++ {
+		i := int((p.Coords[d] - g.Bounds.Lo[d]) / g.CellSize(d))
+		if i >= g.CellsPerDim[d] {
+			i = g.CellsPerDim[d] - 1
+		}
+		idx[d] = i
+	}
+	return idx, true
+}
+
+// CellIndex linearizes per-dimension cell coordinates in row-major order
+// (last dimension fastest).
+func (g *Grid) CellIndex(coords [MaxDims]int) int {
+	idx := 0
+	for d := 0; d < g.Dims(); d++ {
+		idx = idx*g.CellsPerDim[d] + coords[d]
+	}
+	return idx
+}
+
+// CellAt returns the linear index of the cell containing p.
+func (g *Grid) CellAt(p Point) (int, bool) {
+	coords, ok := g.CellCoords(p)
+	if !ok {
+		return 0, false
+	}
+	return g.CellIndex(coords), true
+}
+
+// CellCoordsOf inverts CellIndex.
+func (g *Grid) CellCoordsOf(idx int) [MaxDims]int {
+	var coords [MaxDims]int
+	for d := g.Dims() - 1; d >= 0; d-- {
+		coords[d] = idx % g.CellsPerDim[d]
+		idx /= g.CellsPerDim[d]
+	}
+	return coords
+}
+
+// CellRect returns the bounding box of cell idx.
+func (g *Grid) CellRect(idx int) Rect {
+	coords := g.CellCoordsOf(idx)
+	var r Rect
+	r.Dims = g.Dims()
+	for d := 0; d < g.Dims(); d++ {
+		sz := g.CellSize(d)
+		r.Lo[d] = g.Bounds.Lo[d] + float64(coords[d])*sz
+		r.Hi[d] = r.Lo[d] + sz
+	}
+	return r
+}
+
+// CellsIntersecting returns the linear indices of all cells whose boxes
+// intersect query (in increasing index order). This is the grid analogue of
+// an index lookup and the basis of the inverse mapping the planner needs
+// (paper §3.1: "an efficient inverse mapping function ... which must return
+// the input chunks that map to a given output chunk").
+func (g *Grid) CellsIntersecting(query Rect) []int {
+	if query.Dims != g.Dims() || !query.Intersects(g.Bounds) {
+		return nil
+	}
+	var lo, hi [MaxDims]int
+	for d := 0; d < g.Dims(); d++ {
+		sz := g.CellSize(d)
+		l := int(math.Floor((query.Lo[d] - g.Bounds.Lo[d]) / sz))
+		h := int(math.Floor((query.Hi[d] - g.Bounds.Lo[d]) / sz))
+		// Cells are closed boxes: a query edge landing exactly on the
+		// boundary between cells l-1 and l touches both, so include the
+		// cell below. (The upper edge case falls out: floor already names
+		// the cell whose closed box begins at the boundary.)
+		if l > 0 && g.Bounds.Lo[d]+float64(l)*sz == query.Lo[d] {
+			l--
+		}
+		if l < 0 {
+			l = 0
+		}
+		if h >= g.CellsPerDim[d] {
+			h = g.CellsPerDim[d] - 1
+		}
+		if l > h {
+			return nil
+		}
+		lo[d], hi[d] = l, h
+	}
+	var out []int
+	var walk func(d int, coords [MaxDims]int)
+	walk = func(d int, coords [MaxDims]int) {
+		if d == g.Dims() {
+			out = append(out, g.CellIndex(coords))
+			return
+		}
+		for i := lo[d]; i <= hi[d]; i++ {
+			coords[d] = i
+			walk(d+1, coords)
+		}
+	}
+	var coords [MaxDims]int
+	walk(0, coords)
+	return out
+}

@@ -1,0 +1,157 @@
+package space
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustGrid(t *testing.T, bounds Rect, cells ...int) *Grid {
+	t.Helper()
+	g, err := NewGrid(bounds, cells...)
+	if err != nil {
+		t.Fatalf("NewGrid: %v", err)
+	}
+	return g
+}
+
+func TestNewGridErrors(t *testing.T) {
+	if _, err := NewGrid(Rect{}, 4); err == nil {
+		t.Error("empty bounds should fail")
+	}
+	if _, err := NewGrid(R(0, 1, 0, 1), 4); err == nil {
+		t.Error("wrong cell-count arity should fail")
+	}
+	if _, err := NewGrid(R(0, 1, 0, 1), 4, 0); err == nil {
+		t.Error("zero cells should fail")
+	}
+	if _, err := NewGrid(R(0, 0, 0, 1), 1, 1); err == nil {
+		t.Error("zero-extent dimension should fail")
+	}
+}
+
+func TestGridCellCounts(t *testing.T) {
+	g := mustGrid(t, R(0, 8, 0, 4), 8, 4)
+	if n := g.NumCells(); n != 32 {
+		t.Errorf("NumCells = %d, want 32", n)
+	}
+	if sz := g.CellSize(0); sz != 1 {
+		t.Errorf("CellSize(0) = %g, want 1", sz)
+	}
+	if sz := g.CellSize(1); sz != 1 {
+		t.Errorf("CellSize(1) = %g, want 1", sz)
+	}
+}
+
+func TestGridCellAt(t *testing.T) {
+	g := mustGrid(t, R(0, 10, 0, 10), 5, 5)
+	cases := []struct {
+		p    Point
+		want int
+		ok   bool
+	}{
+		{Pt(0, 0), 0, true},
+		{Pt(9.99, 9.99), 24, true},
+		{Pt(10, 10), 24, true}, // upper boundary belongs to last cell
+		{Pt(2, 0), 5, true},    // row-major: first dim slowest
+		{Pt(0, 2), 1, true},
+		{Pt(-1, 0), 0, false},
+		{Pt(5), 0, false},
+	}
+	for _, c := range cases {
+		got, ok := g.CellAt(c.p)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("CellAt(%v) = %d,%v want %d,%v", c.p, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestGridCellRectRoundTrip(t *testing.T) {
+	g := mustGrid(t, R(-10, 10, 0, 100, 5, 6), 4, 10, 2)
+	for idx := 0; idx < g.NumCells(); idx++ {
+		r := g.CellRect(idx)
+		got, ok := g.CellAt(r.Center())
+		if !ok || got != idx {
+			t.Fatalf("cell %d: center %v maps to %d (ok=%v)", idx, r.Center(), got, ok)
+		}
+		if g.CellIndex(g.CellCoordsOf(idx)) != idx {
+			t.Fatalf("cell %d: coords round trip failed", idx)
+		}
+	}
+}
+
+func TestGridCellsIntersecting(t *testing.T) {
+	g := mustGrid(t, R(0, 4, 0, 4), 4, 4)
+	got := g.CellsIntersecting(R(0.5, 1.5, 0.5, 1.5))
+	want := []int{0, 1, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if cells := g.CellsIntersecting(R(10, 20, 10, 20)); cells != nil {
+		t.Errorf("disjoint query returned %v", cells)
+	}
+	// Boundary-aligned query touches the boundary cell on both sides.
+	got = g.CellsIntersecting(R(1, 1, 0, 0.5))
+	want = []int{0, 4}
+	if len(got) != 2 || got[0] != 0 || got[1] != 4 {
+		t.Errorf("boundary query = %v, want %v", got, want)
+	}
+}
+
+func TestGridCellsIntersectingClamped(t *testing.T) {
+	g := mustGrid(t, R(0, 4, 0, 4), 2, 2)
+	got := g.CellsIntersecting(R(-100, 100, -100, 100))
+	if len(got) != 4 {
+		t.Errorf("oversized query hit %d cells, want all 4", len(got))
+	}
+}
+
+func TestQuickGridCellsIntersectingMatchesBruteForce(t *testing.T) {
+	g := mustGrid(t, R(0, 16, 0, 16), 8, 8)
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		a := Pt(rng.Float64()*16, rng.Float64()*16)
+		b := Pt(rng.Float64()*16, rng.Float64()*16)
+		q := RectFromPoints(a, b)
+		fast := g.CellsIntersecting(q)
+		var slow []int
+		for idx := 0; idx < g.NumCells(); idx++ {
+			if g.CellRect(idx).Intersects(q) {
+				slow = append(slow, idx)
+			}
+		}
+		if len(fast) != len(slow) {
+			return false
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGridEveryPointInItsCell(t *testing.T) {
+	g := mustGrid(t, R(-5, 5, -5, 5, -5, 5), 3, 4, 5)
+	rng := rand.New(rand.NewSource(8))
+	f := func() bool {
+		p := Pt(rng.Float64()*10-5, rng.Float64()*10-5, rng.Float64()*10-5)
+		idx, ok := g.CellAt(p)
+		if !ok {
+			return false
+		}
+		return g.CellRect(idx).Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

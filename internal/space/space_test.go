@@ -1,0 +1,252 @@
+package space
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPtAndString(t *testing.T) {
+	p := Pt(1, 2.5, -3)
+	if p.Dims != 3 {
+		t.Fatalf("dims = %d, want 3", p.Dims)
+	}
+	if got := p.String(); got != "(1, 2.5, -3)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPtTooManyDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >MaxDims coordinates")
+		}
+	}()
+	Pt(1, 2, 3, 4, 5, 6, 7, 8, 9)
+}
+
+func TestPointEqual(t *testing.T) {
+	if !Pt(1, 2).Equal(Pt(1, 2)) {
+		t.Error("equal points reported unequal")
+	}
+	if Pt(1, 2).Equal(Pt(1, 3)) {
+		t.Error("unequal points reported equal")
+	}
+	if Pt(1, 2).Equal(Pt(1, 2, 0)) {
+		t.Error("different dims reported equal")
+	}
+}
+
+func TestRConstruction(t *testing.T) {
+	r := R(0, 10, -5, 5)
+	if r.Dims != 2 {
+		t.Fatalf("dims = %d, want 2", r.Dims)
+	}
+	if r.Lo[0] != 0 || r.Hi[0] != 10 || r.Lo[1] != -5 || r.Hi[1] != 5 {
+		t.Errorf("bounds wrong: %v", r)
+	}
+}
+
+func TestRInvalid(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"odd bounds": func() { R(1, 2, 3) },
+		"lo > hi":    func() { R(5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 10, 0, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(5, 5), true},
+		{Pt(0, 0), true},   // closed box includes lo corner
+		{Pt(10, 10), true}, // and hi corner
+		{Pt(-0.1, 5), false},
+		{Pt(5, 10.1), false},
+		{Pt(5), false}, // wrong dims
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := R(0, 10, 0, 10)
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{R(5, 15, 5, 15), true},
+		{R(10, 20, 10, 20), true}, // touching corners intersect (closed)
+		{R(11, 20, 0, 10), false},
+		{R(0, 10, -20, -1), false},
+		{R(2, 3, 2, 3), true}, // contained
+		{Rect{}, false},       // empty
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("symmetric Intersects(%v) = %v, want %v", c.b, got, c.want)
+		}
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := R(0, 10, 0, 10)
+	b := R(5, 15, -5, 5)
+	got := a.Intersect(b)
+	want := R(5, 10, 0, 5)
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersect(R(20, 30, 0, 10)).IsEmpty() {
+		t.Error("disjoint Intersect should be empty")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := R(0, 1, 0, 1)
+	b := R(5, 6, -2, 0.5)
+	got := a.Union(b)
+	want := R(0, 6, -2, 1)
+	if !got.Equal(want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if !a.Union(Rect{}).Equal(a) || !(Rect{}).Union(a).Equal(a) {
+		t.Error("Union with empty should be identity")
+	}
+}
+
+func TestRectVolumeMargin(t *testing.T) {
+	r := R(0, 2, 0, 3, 0, 4)
+	if v := r.Volume(); v != 24 {
+		t.Errorf("Volume = %g, want 24", v)
+	}
+	if m := r.Margin(); m != 9 {
+		t.Errorf("Margin = %g, want 9", m)
+	}
+	if (Rect{}).Volume() != 0 {
+		t.Error("empty volume should be 0")
+	}
+}
+
+func TestRectCenter(t *testing.T) {
+	r := R(0, 10, -4, 4)
+	if c := r.Center(); !c.Equal(Pt(5, 0)) {
+		t.Errorf("Center = %v, want (5, 0)", c)
+	}
+}
+
+func TestRectFromPointsAndExpand(t *testing.T) {
+	r := RectFromPoints(Pt(1, 5), Pt(-2, 3), Pt(0, 9))
+	want := R(-2, 1, 3, 9)
+	if !r.Equal(want) {
+		t.Errorf("RectFromPoints = %v, want %v", r, want)
+	}
+	r = r.Expand(Pt(10, -10))
+	want = R(-2, 10, -10, 9)
+	if !r.Equal(want) {
+		t.Errorf("Expand = %v, want %v", r, want)
+	}
+	if !RectFromPoints().IsEmpty() {
+		t.Error("RectFromPoints() should be empty")
+	}
+	if got := (Rect{}).Expand(Pt(3, 4)); !got.Equal(RectFromPoints(Pt(3, 4))) {
+		t.Errorf("Expand of empty = %v", got)
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	outer := R(0, 10, 0, 10)
+	if !outer.ContainsRect(R(1, 9, 1, 9)) {
+		t.Error("should contain inner rect")
+	}
+	if !outer.ContainsRect(outer) {
+		t.Error("should contain itself")
+	}
+	if outer.ContainsRect(R(5, 11, 5, 9)) {
+		t.Error("should not contain overflowing rect")
+	}
+}
+
+// randRect produces a random 3-D rectangle inside [-100,100]^3.
+func randRect(rng *rand.Rand) Rect {
+	var bounds [6]float64
+	for d := 0; d < 3; d++ {
+		a := rng.Float64()*200 - 100
+		b := rng.Float64()*200 - 100
+		if a > b {
+			a, b = b, a
+		}
+		bounds[2*d], bounds[2*d+1] = a, b
+	}
+	return R(bounds[:]...)
+}
+
+func TestQuickIntersectionCommutesAndContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		if ab.IsEmpty() {
+			return !a.Intersects(b)
+		}
+		return a.ContainsRect(ab) && b.ContainsRect(ab)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionContainsBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b) &&
+			u.Volume() >= a.Volume() && u.Volume() >= b.Volume()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCenterInsideRect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		r := randRect(rng)
+		return r.Contains(r.Center())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectsIffNonEmptyIntersection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		return a.Intersects(b) == !a.Intersect(b).IsEmpty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
