@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test
+
+bench:
+	$(GO) run ./cmd/adr-bench -quick
+
+clean:
+	rm -rf bin
+	$(GO) clean ./...

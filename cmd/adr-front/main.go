@@ -4,22 +4,31 @@
 // port, and streams the merged output back to the client.
 //
 //	adr-front -listen :7000 -nodes :7200,:7201,:7202
+//
+// With -metrics-addr the front-end also serves /metrics, /debug/queries and
+// /healthz over HTTP; -slow-query logs every query slower than the given
+// duration to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"adr/internal/frontend"
+	"adr/internal/metrics"
 )
 
 func main() {
 	listen := flag.String("listen", ":7000", "client listen address")
 	nodes := flag.String("nodes", "", "comma-separated back-end control addresses (required)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics and /debug/queries (disabled when empty)")
+	slowQuery := flag.Duration("slow-query", time.Second, "log queries slower than this (0 disables)")
 	flag.Parse()
 
 	if *nodes == "" {
@@ -30,12 +39,26 @@ func main() {
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
-	srv, err := frontend.Start(*listen, addrs)
+	srv, err := frontend.StartOptions(*listen, addrs, frontend.Options{
+		SlowQueryThreshold: *slowQuery,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adr-front:", err)
 		os.Exit(1)
 	}
+	srv.Queries().Logger = log.New(os.Stderr, "adr-front: ", log.LstdFlags)
 	fmt.Printf("adr-front: serving clients on %s, %d back-end nodes\n", srv.Addr(), len(addrs))
+
+	if *metricsAddr != "" {
+		ms, err := metrics.Serve(*metricsAddr, metrics.Default, srv.Queries())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adr-front: metrics:", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("adr-front: metrics on http://%s/metrics\n", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -7,6 +7,10 @@
 //	adr-node -id 0 -mesh :7100,:7101,:7102 -control :7200 -data /srv/adr &
 //	adr-node -id 1 -mesh :7100,:7101,:7102 -control :7201 -data /srv/adr &
 //	adr-node -id 2 -mesh :7100,:7101,:7102 -control :7202 -data /srv/adr &
+//
+// With -metrics-addr each daemon also serves /metrics (Prometheus text, or
+// JSON with ?format=json), /debug/queries (in-flight and recent queries) and
+// /healthz over HTTP.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"syscall"
 
 	"adr/internal/backend"
+	"adr/internal/metrics"
 	"adr/internal/rpc"
 )
 
@@ -27,6 +32,7 @@ func main() {
 	control := flag.String("control", "", "control listen address for the front-end (required)")
 	dataDir := flag.String("data", "", "farm directory (required)")
 	accmem := flag.Int64("accmem", 0, "per-node accumulator memory bytes (default 8 MiB)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics and /debug/queries (disabled when empty)")
 	flag.Parse()
 
 	if *id < 0 || *mesh == "" || *control == "" || *dataDir == "" {
@@ -54,6 +60,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("adr-node %d: mesh up (%d nodes), control on %s\n", *id, len(addrs), srv.ControlAddr())
+
+	if *metricsAddr != "" {
+		ms, err := metrics.Serve(*metricsAddr, metrics.Default, srv.Queries())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adr-node: metrics:", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		defer ms.Close()
+		fmt.Printf("adr-node %d: metrics on http://%s/metrics\n", *id, ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -19,6 +19,7 @@ import (
 	"adr/internal/engine"
 	"adr/internal/frontend"
 	"adr/internal/layout"
+	"adr/internal/metrics"
 	"adr/internal/plan"
 	"adr/internal/rpc"
 	"adr/internal/space"
@@ -51,6 +52,7 @@ type Server struct {
 	datasets map[string]*layout.Dataset
 	machine  plan.Machine
 	ctrl     net.Listener
+	queries  *metrics.QueryLog
 
 	closed  bool
 	closeMu sync.Mutex
@@ -91,6 +93,7 @@ func Start(cfg Config) (*Server, error) {
 		farm:     farm,
 		machine:  plan.Machine{Procs: m.Nodes, AccMemBytes: cfg.AccMemBytes},
 		ctrl:     ctrl,
+		queries:  metrics.NewQueryLog(metrics.Default, "adr_node"),
 	}
 	s.datasets = make(map[string]*layout.Dataset, len(datasets))
 	for _, ds := range datasets {
@@ -102,6 +105,13 @@ func Start(cfg Config) (*Server, error) {
 
 // ControlAddr returns the bound control address.
 func (s *Server) ControlAddr() string { return s.ctrl.Addr().String() }
+
+// Queries returns this node's query log, for the /debug/queries surface.
+func (s *Server) Queries() *metrics.QueryLog { return s.queries }
+
+// DispatchStats returns the mesh traffic of the queries currently
+// multiplexed on this node.
+func (s *Server) DispatchStats() []engine.DispatchStats { return s.dispatch.ActiveStats() }
 
 // Close shuts the daemon down.
 func (s *Server) Close() error {
@@ -144,7 +154,14 @@ func (s *Server) handle(conn net.Conn) {
 	}
 
 	start := time.Now()
-	snap, chunks, err := s.runQuery(&req, w)
+	rec := s.queries.Begin(req.QueryID, req.Spec.Input+"->"+req.Spec.Output+"/"+req.Spec.Strategy)
+	trace, chunks, err := s.runQuery(&req, w)
+	s.queries.End(rec, err, metrics.EndStats{
+		BytesRead: trace.Totals.BytesRead,
+		BytesSent: trace.Totals.BytesSent,
+		BytesRecv: trace.Totals.BytesRecv,
+		Chunks:    int64(chunks),
+	})
 	if err != nil {
 		sendErr(err)
 		return
@@ -152,56 +169,57 @@ func (s *Server) handle(conn net.Conn) {
 	frontend.WriteJSON(w, &frontend.Message{Type: "done", Stats: &frontend.DoneStats{
 		Node:       int(s.cfg.Node),
 		Chunks:     chunks,
-		BytesRead:  snap.BytesRead,
-		BytesSent:  snap.BytesSent,
-		BytesRecv:  snap.BytesRecv,
-		AggOps:     snap.AggOps,
+		BytesRead:  trace.Totals.BytesRead,
+		BytesSent:  trace.Totals.BytesSent,
+		BytesRecv:  trace.Totals.BytesRecv,
+		AggOps:     trace.Totals.AggOps,
 		ElapsedMS:  time.Since(start).Milliseconds(),
 		TotalNodes: s.machine.Procs,
+		Trace:      &trace,
 	}})
 	w.Flush()
 }
 
 // runQuery plans and executes the query on this node, streaming owned
 // output chunks to w.
-func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (snap engineSnapshot, chunks int, err error) {
+func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace metrics.NodeTrace, chunks int, err error) {
 	spec := &req.Spec
 	in, ok := s.datasets[spec.Input]
 	if !ok {
-		return snap, 0, fmt.Errorf("backend: input dataset %q not in catalog", spec.Input)
+		return trace, 0, fmt.Errorf("backend: input dataset %q not in catalog", spec.Input)
 	}
 	out, ok := s.datasets[spec.Output]
 	if !ok {
-		return snap, 0, fmt.Errorf("backend: output dataset %q not in catalog", spec.Output)
+		return trace, 0, fmt.Errorf("backend: output dataset %q not in catalog", spec.Output)
 	}
 	inBox, err := frontend.ParseBox(spec.InputBox)
 	if err != nil {
-		return snap, 0, err
+		return trace, 0, err
 	}
 	outBox, err := frontend.ParseBox(spec.OutputBox)
 	if err != nil {
-		return snap, 0, err
+		return trace, 0, err
 	}
 	strategy, err := spec.ParseStrategy()
 	if err != nil {
-		return snap, 0, err
+		return trace, 0, err
 	}
 	app, err := spec.App.Build()
 	if err != nil {
-		return snap, 0, err
+		return trace, 0, err
 	}
 
 	workload, err := core.BuildWorkload(in, out, inBox, outBox, space.IdentityMapper{})
 	if err != nil {
-		return snap, 0, err
+		return trace, 0, err
 	}
 	planner, err := plan.NewPlanner(s.machine)
 	if err != nil {
-		return snap, 0, err
+		return trace, 0, err
 	}
 	p, err := planner.Plan(strategy, workload)
 	if err != nil {
-		return snap, 0, err
+		return trace, 0, err
 	}
 
 	var streamMu sync.Mutex
@@ -222,21 +240,12 @@ func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (snap engi
 	st := engine.FarmStorage{Farm: s.farm}
 	ep := s.dispatch.Endpoint(req.QueryID)
 	defer s.dispatch.Release(req.QueryID)
-	m, err := engine.RunNode(context.Background(), cfg, ep, st)
+	trace, err = engine.RunNodeTraced(context.Background(), cfg, ep, st)
 	if err != nil {
-		return snap, chunks, err
+		return trace, chunks, err
 	}
 	streamMu.Lock()
 	w.Flush()
 	streamMu.Unlock()
-	return engineSnapshot{
-		BytesRead: m.BytesRead,
-		BytesSent: m.BytesSent,
-		BytesRecv: m.BytesRecv,
-		AggOps:    m.AggOps,
-	}, chunks, nil
-}
-
-type engineSnapshot struct {
-	BytesRead, BytesSent, BytesRecv, AggOps int64
+	return trace, chunks, nil
 }

@@ -182,6 +182,33 @@ func TestFullStack(t *testing.T) {
 				t.Errorf("stats not populated: %+v", stats)
 			}
 
+			// The merged done frame carries every node's per-phase trace,
+			// and the traces agree with the aggregate stats.
+			if len(stats.Traces) != nodes {
+				t.Fatalf("done frame has %d traces, want %d", len(stats.Traces), nodes)
+			}
+			var traceRead int64
+			seen := map[int]bool{}
+			for _, tr := range stats.Traces {
+				seen[tr.Node] = true
+				if len(tr.Phases) != 4 {
+					t.Errorf("node %d trace has %d phases", tr.Node, len(tr.Phases))
+				}
+				if tr.WallNanos <= 0 {
+					t.Errorf("node %d trace has no wall time", tr.Node)
+				}
+				traceRead += tr.Totals.BytesRead
+			}
+			if len(seen) != nodes {
+				t.Errorf("traces cover nodes %v, want %d distinct", seen, nodes)
+			}
+			if traceRead != stats.BytesRead {
+				t.Errorf("trace read bytes %d != stats read bytes %d", traceRead, stats.BytesRead)
+			}
+			if qt := stats.QueryTrace(1); len(qt.Nodes) != nodes || qt.Total().BytesRead != stats.BytesRead {
+				t.Errorf("QueryTrace inconsistent: %+v", qt.Total())
+			}
+
 			// Reference: in-process repository over the same farm dir.
 			repo, err := core.NewRepository(core.Options{Nodes: nodes, StoreDir: dir})
 			if err != nil {

@@ -8,6 +8,12 @@
 // an rpc.Endpoint, whether the nodes are goroutines sharing a process
 // (rpc.InprocFabric) or daemons on a TCP mesh (cmd/adr-node). Run is the
 // convenience wrapper that drives all nodes of an in-process fabric.
+//
+// Execution is fully accounted: RunNodeTraced returns a metrics.NodeTrace
+// attributing every disk read, send and receive to the phase that incurred
+// it, and every run also feeds the process-wide adr_engine_* counters in
+// metrics.Default. Dispatcher multiplexes one mesh across concurrent
+// queries by query id and tracks per-query traffic (DispatchStats).
 package engine
 
 import (

@@ -116,6 +116,14 @@ func (c *Config) Validate() error {
 // Report aggregates the execution's per-node metrics.
 type Report struct {
 	Nodes []metrics.Snapshot
+	// Traces carries the per-phase breakdown of the same counters, one
+	// entry per node (set by Run; empty for code paths that only snapshot).
+	Traces []metrics.NodeTrace
+}
+
+// Trace assembles the report's node traces into a QueryTrace.
+func (r *Report) Trace(queryID int32) *metrics.QueryTrace {
+	return &metrics.QueryTrace{QueryID: queryID, Nodes: r.Traces}
 }
 
 // Total sums all node snapshots.

@@ -39,9 +39,31 @@ type tileExpect struct {
 // Config; the call completes when this node has emitted every output chunk
 // it is responsible for.
 func RunNode(ctx context.Context, cfg Config, ep rpc.Endpoint, st ChunkStorage) (metrics.Snapshot, error) {
-	if err := cfg.Validate(); err != nil {
+	n, _, err := runNode(ctx, cfg, ep, st)
+	if n == nil {
 		return metrics.Snapshot{}, err
 	}
+	return n.met.Snapshot(), err
+}
+
+// RunNodeTraced is RunNode returning the full per-phase trace instead of
+// the flat snapshot (NodeTrace.Totals carries the snapshot). The daemons
+// use it to return query traces to the front-end.
+func RunNodeTraced(ctx context.Context, cfg Config, ep rpc.Endpoint, st ChunkStorage) (metrics.NodeTrace, error) {
+	n, wall, err := runNode(ctx, cfg, ep, st)
+	if n == nil {
+		return metrics.NodeTrace{}, err
+	}
+	return n.met.Trace(int(ep.Self()), len(cfg.Plan.Tiles), wall), err
+}
+
+// runNode is the shared driver behind RunNode and RunNodeTraced. A nil node
+// in the return means the configuration never started executing.
+func runNode(ctx context.Context, cfg Config, ep rpc.Endpoint, st ChunkStorage) (*node, time.Duration, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
 	n := &node{
 		cfg:  &cfg,
 		self: ep.Self(),
@@ -51,6 +73,7 @@ func RunNode(ctx context.Context, cfg Config, ep rpc.Endpoint, st ChunkStorage) 
 		mbox: newMailbox(),
 	}
 	n.prepare()
+	defer n.recordTotals()
 
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -58,13 +81,46 @@ func RunNode(ctx context.Context, cfg Config, ep rpc.Endpoint, st ChunkStorage) 
 
 	for t := range cfg.Plan.Tiles {
 		if err := ctx.Err(); err != nil {
-			return n.met.Snapshot(), err
+			return n, time.Since(start), err
 		}
 		if err := n.runTile(ctx, int32(t)); err != nil {
-			return n.met.Snapshot(), fmt.Errorf("engine: node %d tile %d: %w", n.self, t, err)
+			return n, time.Since(start), fmt.Errorf("engine: node %d tile %d: %w", n.self, t, err)
 		}
 	}
-	return n.met.Snapshot(), nil
+	return n, time.Since(start), nil
+}
+
+// Process-wide engine counters, rolled up from each node run's snapshot so
+// the /metrics surface shows cumulative engine traffic without touching the
+// per-query hot path.
+var (
+	engRuns      = metrics.Default.Counter("adr_engine_node_runs_total")
+	engChunks    = metrics.Default.Counter("adr_engine_chunks_read_total")
+	engBytesRead = metrics.Default.Counter("adr_engine_bytes_read_total")
+	engBytesSent = metrics.Default.Counter("adr_engine_bytes_sent_total")
+	engBytesRecv = metrics.Default.Counter("adr_engine_bytes_recv_total")
+	engAggOps    = metrics.Default.Counter("adr_engine_agg_ops_total")
+	engPhaseNS   = [4]*metrics.Counter{
+		metrics.Default.Counter(`adr_engine_phase_nanos_total{phase="I"}`),
+		metrics.Default.Counter(`adr_engine_phase_nanos_total{phase="LR"}`),
+		metrics.Default.Counter(`adr_engine_phase_nanos_total{phase="GC"}`),
+		metrics.Default.Counter(`adr_engine_phase_nanos_total{phase="OH"}`),
+	}
+)
+
+// recordTotals folds this node run's counters into the process-wide
+// registry.
+func (n *node) recordTotals() {
+	s := n.met.Snapshot()
+	engRuns.Inc()
+	engChunks.Add(s.ChunksRead)
+	engBytesRead.Add(s.BytesRead)
+	engBytesSent.Add(s.BytesSent)
+	engBytesRecv.Add(s.BytesRecv)
+	engAggOps.Add(s.AggOps)
+	for p, ns := range s.PhaseNanos {
+		engPhaseNS[p].Add(ns)
+	}
 }
 
 // prepare derives this node's per-tile forwarding map and expected message
@@ -167,8 +223,7 @@ func (n *node) phaseInit(t int32) (map[int32]Accumulator, error) {
 				if err != nil {
 					return nil, fmt.Errorf("read existing output %d: %w", o, err)
 				}
-				n.met.BytesRead.Add(int64(len(data)))
-				n.met.ChunksRead.Add(1)
+				n.met.AddRead(metrics.Initialization, int64(len(data)))
 				payload = data
 				c, err := chunk.Decode(data)
 				if err != nil {
@@ -181,7 +236,7 @@ func (n *node) phaseInit(t int32) (map[int32]Accumulator, error) {
 				if h == n.self {
 					continue
 				}
-				if err := n.send(rpc.Message{
+				if err := n.send(metrics.Initialization, rpc.Message{
 					Src: n.self, Dst: h, Type: msgOutputInit, Tile: t, Seq: o,
 					Payload: payload,
 				}); err != nil {
@@ -196,7 +251,7 @@ func (n *node) phaseInit(t int32) (map[int32]Accumulator, error) {
 			if err != nil {
 				return nil, err
 			}
-			n.noteRecv(msg)
+			n.noteRecv(metrics.Initialization, msg)
 			if len(msg.Payload) > 0 {
 				c, err := chunk.Decode(msg.Payload)
 				if err != nil {
@@ -326,13 +381,12 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 		if r.err != nil {
 			return fmt.Errorf("read input %d: %w", r.input, r.err)
 		}
-		n.met.BytesRead.Add(int64(len(r.data)))
-		n.met.ChunksRead.Add(1)
+		n.met.AddRead(metrics.LocalReduction, int64(len(r.data)))
 		// Forward before aggregating so remote homes can overlap their own
 		// processing with ours (the chunk buffer is shared: storage data is
 		// immutable here, the zero-copy path §2.4 argues for).
 		for _, dst := range n.fwdByInput[t][r.input] {
-			if err := n.send(rpc.Message{
+			if err := n.send(metrics.LocalReduction, rpc.Message{
 				Src: n.self, Dst: dst, Type: msgInputChunk, Tile: t, Seq: r.input,
 				Payload: r.data,
 			}); err != nil {
@@ -354,7 +408,7 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 		if err != nil {
 			return err
 		}
-		n.noteRecv(msg)
+		n.noteRecv(metrics.LocalReduction, msg)
 		c, err := chunk.Decode(msg.Payload)
 		if err != nil {
 			return fmt.Errorf("decode forwarded input %d: %w", msg.Seq, err)
@@ -379,7 +433,7 @@ func (n *node) phaseGlobalCombine(t int32, accs map[int32]Accumulator) error {
 			return fmt.Errorf("encode ghost %d: %w", o, err)
 		}
 		n.met.AddPhase(metrics.GlobalCombine, time.Since(start))
-		if err := n.send(rpc.Message{
+		if err := n.send(metrics.GlobalCombine, rpc.Message{
 			Src: n.self, Dst: rpc.NodeID(p.Home[o]), Type: msgGhostAccum, Tile: t, Seq: o,
 			Payload: data,
 		}); err != nil {
@@ -393,7 +447,7 @@ func (n *node) phaseGlobalCombine(t int32, accs map[int32]Accumulator) error {
 		if err != nil {
 			return err
 		}
-		n.noteRecv(msg)
+		n.noteRecv(metrics.GlobalCombine, msg)
 		o := msg.Seq
 		dst, ok := accs[o]
 		if !ok {
@@ -430,7 +484,7 @@ func (n *node) phaseOutput(t int32, accs map[int32]Accumulator) error {
 		n.met.AddPhase(metrics.OutputHandling, time.Since(start))
 		owner := rpc.NodeID(w.Outputs[o].Node)
 		if owner != n.self {
-			if err := n.send(rpc.Message{
+			if err := n.send(metrics.OutputHandling, rpc.Message{
 				Src: n.self, Dst: owner, Type: msgFinalOutput, Tile: t, Seq: o,
 				Payload: chunk.Encode(out),
 			}); err != nil {
@@ -447,7 +501,7 @@ func (n *node) phaseOutput(t int32, accs map[int32]Accumulator) error {
 		if err != nil {
 			return err
 		}
-		n.noteRecv(msg)
+		n.noteRecv(metrics.OutputHandling, msg)
 		out, err := chunk.Decode(msg.Payload)
 		if err != nil {
 			return fmt.Errorf("decode final output %d: %w", msg.Seq, err)
@@ -494,16 +548,16 @@ func (n *node) emit(out *chunk.Chunk) error {
 	return nil
 }
 
-func (n *node) send(m rpc.Message) error {
+// send transmits m, attributing the traffic to the phase issuing it.
+func (n *node) send(p metrics.Phase, m rpc.Message) error {
 	if err := n.ep.Send(m); err != nil {
 		return fmt.Errorf("send %s to %d: %w", msgTypeName(uint8(m.Type)), m.Dst, err)
 	}
-	n.met.MsgsSent.Add(1)
-	n.met.BytesSent.Add(int64(len(m.Payload)))
+	n.met.AddSent(p, int64(len(m.Payload)))
 	return nil
 }
 
-func (n *node) noteRecv(m rpc.Message) {
-	n.met.MsgsRecv.Add(1)
-	n.met.BytesRecv.Add(int64(len(m.Payload)))
+// noteRecv attributes a consumed message to the phase that waited for it.
+func (n *node) noteRecv(p metrics.Phase, m rpc.Message) {
+	n.met.AddRecv(p, int64(len(m.Payload)))
 }

@@ -18,7 +18,10 @@ func Run(ctx context.Context, cfg Config, fabric rpc.Fabric, st ChunkStorage) (*
 		return nil, err
 	}
 	procs := cfg.Plan.Machine.Procs
-	report := &Report{Nodes: make([]metrics.Snapshot, procs)}
+	report := &Report{
+		Nodes:  make([]metrics.Snapshot, procs),
+		Traces: make([]metrics.NodeTrace, procs),
+	}
 
 	rctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -33,8 +36,9 @@ func Run(ctx context.Context, cfg Config, fabric rpc.Fabric, st ChunkStorage) (*
 		wg.Add(1)
 		go func(q int, ep rpc.Endpoint) {
 			defer wg.Done()
-			snap, err := RunNode(rctx, cfg, ep, st)
-			report.Nodes[q] = snap
+			trace, err := RunNodeTraced(rctx, cfg, ep, st)
+			report.Nodes[q] = trace.Totals
+			report.Traces[q] = trace
 			if err != nil {
 				errs[q] = err
 				cancel() // unblock peers waiting on this node

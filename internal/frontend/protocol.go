@@ -15,6 +15,7 @@ import (
 	"adr/internal/apps"
 	"adr/internal/chunk"
 	"adr/internal/engine"
+	"adr/internal/metrics"
 	"adr/internal/plan"
 	"adr/internal/space"
 )
@@ -142,6 +143,17 @@ type DoneStats struct {
 	AggOps     int64 `json:"agg_ops"`
 	ElapsedMS  int64 `json:"elapsed_ms"`
 	TotalNodes int   `json:"total_nodes,omitempty"`
+	// Trace, on a back-end node's done frame, is that node's per-phase
+	// execution trace.
+	Trace *metrics.NodeTrace `json:"trace,omitempty"`
+	// Traces, on the front-end's merged done frame, assembles every node's
+	// trace — the query's full per-node, per-phase accounting.
+	Traces []metrics.NodeTrace `json:"traces,omitempty"`
+}
+
+// QueryTrace converts the merged done frame's traces into a QueryTrace.
+func (s *DoneStats) QueryTrace(queryID int32) *metrics.QueryTrace {
+	return &metrics.QueryTrace{QueryID: queryID, Nodes: s.Traces}
 }
 
 // ToChunkJSON converts a finished chunk for the wire.

@@ -6,14 +6,17 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"adr/internal/metrics"
 )
 
 // Server is the ADR front-end process: it accepts client connections on a
 // socket, relays each query to every back-end node's control port, merges
 // the per-node output streams, and returns the combined stream to the
-// client together with aggregate statistics. Queries from concurrent
-// clients run concurrently: each gets a unique query id that the back-end
-// nodes use to multiplex the mesh.
+// client together with aggregate statistics and the per-node, per-phase
+// query trace. Queries from concurrent clients run concurrently: each gets
+// a unique query id that the back-end nodes use to multiplex the mesh.
 type Server struct {
 	// NodeAddrs lists the back-end nodes' control addresses.
 	NodeAddrs []string
@@ -22,10 +25,22 @@ type Server struct {
 	mu      sync.Mutex
 	closed  bool
 	queryID atomic.Int32
+	queries *metrics.QueryLog
+}
+
+// Options tunes the front-end's observability behaviour.
+type Options struct {
+	// SlowQueryThreshold, when > 0, logs every query slower than it.
+	SlowQueryThreshold time.Duration
 }
 
 // Start listens for clients on addr.
 func Start(addr string, nodeAddrs []string) (*Server, error) {
+	return StartOptions(addr, nodeAddrs, Options{})
+}
+
+// StartOptions is Start with observability options.
+func StartOptions(addr string, nodeAddrs []string, opts Options) (*Server, error) {
 	if len(nodeAddrs) == 0 {
 		return nil, fmt.Errorf("frontend: no back-end nodes configured")
 	}
@@ -33,10 +48,16 @@ func Start(addr string, nodeAddrs []string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("frontend: listen: %w", err)
 	}
-	s := &Server{NodeAddrs: nodeAddrs, ln: ln}
+	ql := metrics.NewQueryLog(metrics.Default, "adr_frontend")
+	ql.SlowThreshold = opts.SlowQueryThreshold
+	s := &Server{NodeAddrs: nodeAddrs, ln: ln, queries: ql}
 	go s.acceptLoop()
 	return s, nil
 }
+
+// Queries returns the front-end's query log, for the /debug/queries
+// surface and the slow-query log.
+func (s *Server) Queries() *metrics.QueryLog { return s.queries }
 
 // Addr returns the bound client address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -83,8 +104,27 @@ func (s *Server) handleClient(conn net.Conn) {
 }
 
 // runQuery fans the query out to every back-end node and merges the result
-// streams into w.
+// streams into w, recording the query in the front-end's query log.
 func (s *Server) runQuery(spec *QuerySpec, w *bufio.Writer) error {
+	id := s.queryID.Add(1)
+	rec := s.queries.Begin(id, spec.Input+"->"+spec.Output+"/"+spec.Strategy)
+	total, err := s.relayQuery(id, spec, w)
+	var end metrics.EndStats
+	if total != nil {
+		end = metrics.EndStats{
+			BytesRead: total.BytesRead,
+			BytesSent: total.BytesSent,
+			BytesRecv: total.BytesRecv,
+			Chunks:    int64(total.Chunks),
+		}
+	}
+	s.queries.End(rec, err, end)
+	return err
+}
+
+// relayQuery is the transport half of runQuery: fan out, merge, return the
+// aggregated stats (which may be partially filled when err != nil).
+func (s *Server) relayQuery(id int32, spec *QuerySpec, w *bufio.Writer) (*DoneStats, error) {
 	conns := make([]net.Conn, len(s.NodeAddrs))
 	for i, addr := range s.NodeAddrs {
 		c, err := net.Dial("tcp", addr)
@@ -92,7 +132,7 @@ func (s *Server) runQuery(spec *QuerySpec, w *bufio.Writer) error {
 			for j := 0; j < i; j++ {
 				conns[j].Close()
 			}
-			return fmt.Errorf("frontend: dial node %d at %s: %w", i, addr, err)
+			return nil, fmt.Errorf("frontend: dial node %d at %s: %w", i, addr, err)
 		}
 		conns[i] = c
 	}
@@ -102,11 +142,11 @@ func (s *Server) runQuery(spec *QuerySpec, w *bufio.Writer) error {
 		}
 	}()
 
-	// Submit the query to every node under a fresh query id.
-	req := &NodeRequest{QueryID: s.queryID.Add(1), Spec: *spec}
+	// Submit the query to every node under the fresh query id.
+	req := &NodeRequest{QueryID: id, Spec: *spec}
 	for i, c := range conns {
 		if err := WriteJSON(c, req); err != nil {
-			return fmt.Errorf("frontend: submit to node %d: %w", i, err)
+			return nil, fmt.Errorf("frontend: submit to node %d: %w", i, err)
 		}
 	}
 
@@ -156,7 +196,7 @@ func (s *Server) runQuery(spec *QuerySpec, w *bufio.Writer) error {
 	total := DoneStats{Node: -1, TotalNodes: len(conns)}
 	for i := range outcomes {
 		if outcomes[i].err != nil {
-			return outcomes[i].err
+			return nil, outcomes[i].err
 		}
 		st := outcomes[i].stats
 		total.Chunks += st.Chunks
@@ -167,10 +207,14 @@ func (s *Server) runQuery(spec *QuerySpec, w *bufio.Writer) error {
 		if st.ElapsedMS > total.ElapsedMS {
 			total.ElapsedMS = st.ElapsedMS
 		}
+		// Assemble the per-node traces into the query's full trace.
+		if st.Trace != nil {
+			total.Traces = append(total.Traces, *st.Trace)
+		}
 	}
 	wmu.Lock()
 	defer wmu.Unlock()
-	return WriteJSON(w, &Message{Type: "done", Stats: &total})
+	return &total, WriteJSON(w, &Message{Type: "done", Stats: &total})
 }
 
 // Client is a minimal front-end client, used by cmd/adr-query and tests.

@@ -13,8 +13,20 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"adr/internal/chunk"
+	"adr/internal/metrics"
+)
+
+// Process-wide disk counters: every FileStore read/write lands here, giving
+// /metrics the per-process I/O volume and a read-latency histogram.
+var (
+	diskReads      = metrics.Default.Counter("adr_disk_reads_total")
+	diskReadBytes  = metrics.Default.Counter("adr_disk_read_bytes_total")
+	diskWrites     = metrics.Default.Counter("adr_disk_writes_total")
+	diskWriteBytes = metrics.Default.Counter("adr_disk_write_bytes_total")
+	diskReadSec    = metrics.Default.Histogram("adr_disk_read_seconds", nil)
 )
 
 // Store holds the encoded payloads of chunks on one disk. Chunks are
@@ -184,6 +196,8 @@ func (s *FileStore) Put(dataset string, id chunk.ID, data []byte) error {
 	}
 	seg.index[id] = segmentLoc{off: seg.size + 8, length: int32(len(data))}
 	seg.size += 8 + int64(len(data))
+	diskWrites.Inc()
+	diskWriteBytes.Add(int64(len(data)))
 	return nil
 }
 
@@ -200,10 +214,14 @@ func (s *FileStore) Get(dataset string, id chunk.ID) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("layout: chunk %s/%d not in store", dataset, id)
 	}
+	start := time.Now()
 	buf := make([]byte, loc.length)
 	if _, err := seg.f.ReadAt(buf, loc.off); err != nil {
 		return nil, fmt.Errorf("layout: get %s/%d: %w", dataset, id, err)
 	}
+	diskReadSec.Observe(time.Since(start).Seconds())
+	diskReads.Inc()
+	diskReadBytes.Add(int64(len(buf)))
 	return buf, nil
 }
 

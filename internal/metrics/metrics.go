@@ -1,6 +1,25 @@
-// Package metrics collects the per-node counters the paper's evaluation
-// plots: I/O volume, communication volume and per-phase computation time.
-// Counters are updated with atomics so the engine's pipelined goroutines can
+// Package metrics is ADR's observability layer. It has three parts, all
+// sharing one naming scheme so simulated and live runs are directly
+// comparable:
+//
+//   - Per-query accounting: Node accumulates one back-end node's counters
+//     for one query — the quantities the paper's evaluation plots (§4,
+//     Figs 8–9): I/O volume, communication volume and per-phase computation
+//     time. The phase-attributed view of the same counters is exported as a
+//     NodeTrace (one PhaseSpan per §2.4 phase) and assembled per query into
+//     a QueryTrace.
+//
+//   - Process-wide metrics: Registry holds named counters, gauges and
+//     histograms (e.g. adr_rpc_sent_bytes_total, adr_disk_read_seconds)
+//     that the RPC transports, the disk stores, the engine and the daemons
+//     record into. The Default registry is the process-wide instance.
+//
+//   - The HTTP surface: Serve exposes a registry at /metrics (Prometheus
+//     text and JSON) and a QueryLog — in-flight and recent queries with a
+//     slow-query log — at /debug/queries. Both daemons mount it behind
+//     their -metrics-addr flag.
+//
+// Counters are updated with atomics so the engine's pipelined goroutines
 // record without coordination.
 package metrics
 
@@ -56,6 +75,10 @@ type Node struct {
 	AggOps     atomic.Int64
 	CombineOps atomic.Int64
 	phaseNanos [numPhases]atomic.Int64
+	// phaseIO attributes the traffic counters above to the phase that
+	// incurred them; AddRead/AddSent/AddRecv update totals and phase
+	// together, and Trace exports the per-phase view.
+	phaseIO [numPhases]phaseCounters
 }
 
 // AddPhase records elapsed wall time attributed to a phase.

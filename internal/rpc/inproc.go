@@ -14,6 +14,7 @@ type InprocFabric struct {
 	mu        sync.Mutex
 	endpoints []*inprocEndpoint
 	closed    bool
+	met       *meters
 }
 
 type inprocEndpoint struct {
@@ -38,7 +39,7 @@ func NewInprocFabric(n, depth int) (*InprocFabric, error) {
 	if depth <= 0 {
 		depth = DefaultInboxDepth
 	}
-	f := &InprocFabric{}
+	f := &InprocFabric{met: newMeters("inproc", n)}
 	for i := 0; i < n; i++ {
 		f.endpoints = append(f.endpoints, &inprocEndpoint{
 			fabric: f,
@@ -93,6 +94,7 @@ func (e *inprocEndpoint) Send(m Message) error {
 	}
 	select {
 	case dst.inbox <- m:
+		e.fabric.met.sent(m.Dst, len(m.Payload))
 		return nil
 	case <-dst.done:
 		return ErrClosed
@@ -105,16 +107,19 @@ func (e *inprocEndpoint) Send(m Message) error {
 func (e *inprocEndpoint) Recv(ctx context.Context) (Message, error) {
 	select {
 	case m := <-e.inbox:
+		e.fabric.met.recv(m.Src, len(m.Payload))
 		return m, nil
 	default:
 	}
 	select {
 	case m := <-e.inbox:
+		e.fabric.met.recv(m.Src, len(m.Payload))
 		return m, nil
 	case <-e.done:
 		// Drain anything that raced with close so no message is lost.
 		select {
 		case m := <-e.inbox:
+			e.fabric.met.recv(m.Src, len(m.Payload))
 			return m, nil
 		default:
 		}

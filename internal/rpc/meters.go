@@ -1,0 +1,47 @@
+package rpc
+
+import (
+	"strconv"
+
+	"adr/internal/metrics"
+)
+
+// meters is a transport's set of process-wide RPC counters in the Default
+// registry: aggregate message/byte totals per direction plus per-peer byte
+// volume (the quantity Fig 9(a–b) plots per processor). Counter handles are
+// resolved once at fabric construction so the per-message cost is a single
+// atomic add.
+type meters struct {
+	sentMsgs, recvMsgs   *metrics.Counter
+	sentBytes, recvBytes *metrics.Counter
+	peerSent, peerRecv   []*metrics.Counter // indexed by peer node id
+}
+
+func newMeters(transport string, nodes int) *meters {
+	reg := metrics.Default
+	lbl := `{transport="` + transport + `"}`
+	m := &meters{
+		sentMsgs:  reg.Counter("adr_rpc_sent_msgs_total" + lbl),
+		recvMsgs:  reg.Counter("adr_rpc_recv_msgs_total" + lbl),
+		sentBytes: reg.Counter("adr_rpc_sent_bytes_total" + lbl),
+		recvBytes: reg.Counter("adr_rpc_recv_bytes_total" + lbl),
+	}
+	for p := 0; p < nodes; p++ {
+		plbl := `{transport="` + transport + `",peer="` + strconv.Itoa(p) + `"}`
+		m.peerSent = append(m.peerSent, reg.Counter("adr_rpc_peer_sent_bytes_total"+plbl))
+		m.peerRecv = append(m.peerRecv, reg.Counter("adr_rpc_peer_recv_bytes_total"+plbl))
+	}
+	return m
+}
+
+func (m *meters) sent(peer NodeID, payloadBytes int) {
+	m.sentMsgs.Inc()
+	m.sentBytes.Add(int64(payloadBytes))
+	m.peerSent[peer].Add(int64(payloadBytes))
+}
+
+func (m *meters) recv(peer NodeID, payloadBytes int) {
+	m.recvMsgs.Inc()
+	m.recvBytes.Add(int64(payloadBytes))
+	m.peerRecv[peer].Add(int64(payloadBytes))
+}

@@ -17,6 +17,11 @@
 // with disk I/O and processing, as the ADR query execution service does by
 // design (§2.4: "ADR overlaps disk operations, network operations and
 // processing as much as possible").
+//
+// Both transports record into the process-wide metrics registry: aggregate
+// message/byte totals per direction and per-peer byte volume, labelled by
+// transport (adr_rpc_sent_msgs_total{transport="tcp"}, ...). Handles are
+// resolved once per fabric, so the per-message cost is one atomic add.
 package rpc
 
 import (

@@ -41,6 +41,7 @@ type TCPNode struct {
 	inbox chan Message
 	done  chan struct{}
 	once  sync.Once
+	met   *meters
 
 	mu    sync.Mutex
 	conns map[NodeID]*tcpConn
@@ -106,6 +107,7 @@ func NewTCPNodeWithListener(self NodeID, addrs []string, ln net.Listener, opts T
 		inbox: make(chan Message, opts.InboxDepth),
 		done:  make(chan struct{}),
 		conns: make(map[NodeID]*tcpConn),
+		met:   newMeters("tcp", len(addrs)),
 	}
 
 	var wg sync.WaitGroup
@@ -247,6 +249,7 @@ func (n *TCPNode) readLoop(conn *tcpConn) {
 		}
 		select {
 		case n.inbox <- m:
+			n.met.recv(m.Src, len(m.Payload))
 		case <-n.done:
 			return
 		}
@@ -270,6 +273,10 @@ func (n *TCPNode) Send(m Message) error {
 	if m.Dst == n.self {
 		select {
 		case n.inbox <- m:
+			// Loopback traffic never transits readLoop; account both
+			// directions here.
+			n.met.sent(m.Dst, len(m.Payload))
+			n.met.recv(m.Src, len(m.Payload))
 			return nil
 		case <-n.done:
 			return ErrClosed
@@ -283,6 +290,7 @@ func (n *TCPNode) Send(m Message) error {
 	}
 	select {
 	case conn.outbox <- m:
+		n.met.sent(m.Dst, len(m.Payload))
 		return nil
 	case <-n.done:
 		return ErrClosed
