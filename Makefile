@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench clean
+.PHONY: all build test race vet check test-failure bench clean
 
 all: check
 
@@ -15,6 +15,11 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Failure-path tests: peer death, send timeouts, abort broadcast, dispatcher
+# late messages — race-checked, bounded so a reintroduced hang fails fast.
+test-failure:
+	$(GO) test -race -timeout 120s -run 'Fail|Fault|Abort|Death|Late|Timeout|Malformed' ./internal/rpc/... ./internal/engine/... ./internal/backend/...
 
 check: build vet test
 

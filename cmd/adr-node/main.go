@@ -33,6 +33,9 @@ func main() {
 	dataDir := flag.String("data", "", "farm directory (required)")
 	accmem := flag.Int64("accmem", 0, "per-node accumulator memory bytes (default 8 MiB)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics and /debug/queries (disabled when empty)")
+	sendTimeout := flag.Duration("send-timeout", 0, "mesh send timeout per peer; 0 uses the 30s default, negative disables")
+	dialRetry := flag.Duration("dial-retry", 0, "how long mesh establishment retries unreachable peers (default 30s)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline on this node; 0 disables")
 	flag.Parse()
 
 	if *id < 0 || *mesh == "" || *control == "" || *dataDir == "" {
@@ -49,11 +52,14 @@ func main() {
 	}
 
 	srv, err := backend.Start(backend.Config{
-		Node:        rpc.NodeID(*id),
-		MeshAddrs:   addrs,
-		ControlAddr: *control,
-		DataDir:     *dataDir,
-		AccMemBytes: *accmem,
+		Node:         rpc.NodeID(*id),
+		MeshAddrs:    addrs,
+		ControlAddr:  *control,
+		DataDir:      *dataDir,
+		AccMemBytes:  *accmem,
+		SendTimeout:  *sendTimeout,
+		DialRetry:    *dialRetry,
+		QueryTimeout: *queryTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adr-node:", err)

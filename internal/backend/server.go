@@ -9,6 +9,7 @@ package backend
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -39,6 +40,17 @@ type Config struct {
 	// AccMemBytes is the planner's per-node accumulator memory (default
 	// core.DefaultAccMemBytes). Must be identical on every node.
 	AccMemBytes int64
+	// SendTimeout bounds each mesh send to a peer that stops draining; on
+	// expiry the peer is marked dead and the query aborts. 0 selects
+	// rpc.DefaultSendTimeout, negative disables the timeout.
+	SendTimeout time.Duration
+	// DialRetry is how long mesh establishment keeps retrying unreachable
+	// peers (default 30s).
+	DialRetry time.Duration
+	// QueryTimeout, when > 0, bounds each query's execution on this node;
+	// on expiry the node aborts the query mesh-wide and reports a deadline
+	// error to the front-end.
+	QueryTimeout time.Duration
 }
 
 // Server is a running node daemon. Concurrent queries share the mesh
@@ -80,7 +92,10 @@ func Start(cfg Config) (*Server, error) {
 		farm.Close()
 		return nil, fmt.Errorf("backend: control listen: %w", err)
 	}
-	mesh, err := rpc.NewTCPNode(cfg.Node, cfg.MeshAddrs, rpc.TCPOptions{})
+	mesh, err := rpc.NewTCPNode(cfg.Node, cfg.MeshAddrs, rpc.TCPOptions{
+		SendTimeout: cfg.SendTimeout,
+		DialRetry:   cfg.DialRetry,
+	})
 	if err != nil {
 		ctrl.Close()
 		farm.Close()
@@ -149,7 +164,18 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	sendErr := func(err error) {
-		frontend.WriteJSON(w, &frontend.Message{Type: "error", Error: err.Error()})
+		// Locate the failure for the client: this node reports it, and when
+		// the error chain identifies the node that caused it (a dead mesh
+		// peer, a peer-broadcast abort), name that node too.
+		info := &frontend.ErrorInfo{Node: int(s.cfg.Node), Origin: -1, Message: err.Error()}
+		var abort *engine.AbortError
+		var peer *rpc.PeerError
+		if errors.As(err, &abort) {
+			info.Origin = int(abort.Node)
+		} else if errors.As(err, &peer) {
+			info.Origin = int(peer.Peer)
+		}
+		frontend.WriteJSON(w, &frontend.Message{Type: "error", Error: err.Error(), ErrInfo: info})
 		w.Flush()
 	}
 
@@ -240,7 +266,13 @@ func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace met
 	st := engine.FarmStorage{Farm: s.farm}
 	ep := s.dispatch.Endpoint(req.QueryID)
 	defer s.dispatch.Release(req.QueryID)
-	trace, err = engine.RunNodeTraced(context.Background(), cfg, ep, st)
+	ctx := context.Background()
+	if s.cfg.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		defer cancel()
+	}
+	trace, err = engine.RunNodeTraced(ctx, cfg, ep, st)
 	if err != nil {
 		return trace, chunks, err
 	}

@@ -2,12 +2,14 @@ package backend_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"adr/internal/apps"
 	"adr/internal/backend"
@@ -603,5 +605,78 @@ func TestBackendMalformedControlRequest(t *testing.T) {
 	}
 	if total != 1500 {
 		t.Errorf("post-garbage query counted %d", total)
+	}
+}
+
+// TestStructuredErrorFrames: back-end failures reach the client as typed
+// *frontend.QueryError values that name the reporting node — the structured
+// half of the error frame survives the node -> front-end -> client relay.
+// The cluster runs with a nanosecond QueryTimeout so a valid query also
+// exercises the per-query deadline path deterministically.
+func TestStructuredErrorFrames(t *testing.T) {
+	const nodes = 2
+	dir := t.TempDir()
+	buildFarmDir(t, dir, nodes)
+	meshAddrs := freeAddrs(t, nodes)
+	servers := make([]*backend.Server, nodes)
+	startErr := make(chan error, nodes)
+	for i := 0; i < nodes; i++ {
+		go func(i int) {
+			s, err := backend.Start(backend.Config{
+				Node: rpc.NodeID(i), MeshAddrs: meshAddrs,
+				ControlAddr: "127.0.0.1:0", DataDir: dir,
+				QueryTimeout: time.Nanosecond,
+			})
+			servers[i] = s
+			startErr <- err
+		}(i)
+	}
+	for i := 0; i < nodes; i++ {
+		if err := <-startErr; err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	fe, err := frontend.Start("127.0.0.1:0", []string{servers[0].ControlAddr(), servers[1].ControlAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	client, err := frontend.Dial(fe.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// A planning failure (unknown dataset) is reported by a specific node.
+	_, _, err = client.Query(&frontend.QuerySpec{
+		Input: "nosuch", Output: "raster",
+		App: frontend.AppSpec{Op: "sum", CellsPerDim: 2},
+	})
+	var qe *frontend.QueryError
+	if !errors.As(err, &qe) {
+		t.Fatalf("unknown dataset error = %v, want *frontend.QueryError", err)
+	}
+	if qe.Node < 0 || qe.Node >= nodes {
+		t.Errorf("error frame names node %d, want a back-end node id", qe.Node)
+	}
+	if !strings.Contains(qe.Message, "nosuch") {
+		t.Errorf("error lost the cause: %q", qe.Message)
+	}
+
+	// A valid query dies on the per-query deadline, still as a typed error.
+	_, _, err = client.Query(&frontend.QuerySpec{
+		Input: "sensor", Output: "raster",
+		App: frontend.AppSpec{Op: "sum", CellsPerDim: 2},
+	})
+	if !errors.As(err, &qe) {
+		t.Fatalf("deadline error = %v, want *frontend.QueryError", err)
+	}
+	if !strings.Contains(qe.Message, "deadline") && !strings.Contains(qe.Message, "abort") {
+		t.Errorf("deadline error does not mention the deadline or abort: %q", qe.Message)
 	}
 }

@@ -83,6 +83,10 @@ const (
 	// msgFinalOutput ships a finished output chunk from its home to its
 	// owner (hybrid output handling). Seq = output position.
 	msgFinalOutput = 4
+	// msgAbort broadcasts a query-level abort: the sending node failed and
+	// every peer must stop waiting for its messages. Payload = reason
+	// string. The mailbox honours it regardless of tile or phase.
+	msgAbort = 5
 )
 
 func msgTypeName(t uint8) string {
@@ -95,6 +99,8 @@ func msgTypeName(t uint8) string {
 		return "output-init"
 	case msgFinalOutput:
 		return "final-output"
+	case msgAbort:
+		return "abort"
 	default:
 		return fmt.Sprintf("type-%d", t)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"adr/internal/metrics"
 	"adr/internal/rpc"
 )
 
@@ -21,13 +22,22 @@ import (
 type Dispatcher struct {
 	ep rpc.Endpoint
 
-	mu      sync.Mutex
-	queues  map[int32]*dispatchQueue
-	stopped bool
-	err     error
-	cancel  context.CancelFunc
-	done    chan struct{}
+	mu     sync.Mutex
+	queues map[int32]*dispatchQueue
+	// released remembers query ids whose buffers were dropped, so a message
+	// arriving after Release (an abort straggler, a slow peer's last chunk)
+	// is discarded and counted instead of silently re-creating the queue —
+	// which nothing would ever delete again.
+	released map[int32]bool
+	stopped  bool
+	err      error
+	cancel   context.CancelFunc
+	done     chan struct{}
 }
+
+// lateMsgs counts inbound messages for already-released queries, dropped by
+// the dispatcher instead of leaking a resurrected queue.
+var lateMsgs = metrics.Default.Counter("adr_dispatch_late_msgs_total")
 
 type dispatchQueue struct {
 	cond    *sync.Cond
@@ -58,10 +68,11 @@ type DispatchStats struct {
 func NewDispatcher(ep rpc.Endpoint) *Dispatcher {
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &Dispatcher{
-		ep:     ep,
-		queues: make(map[int32]*dispatchQueue),
-		cancel: cancel,
-		done:   make(chan struct{}),
+		ep:       ep,
+		queues:   make(map[int32]*dispatchQueue),
+		released: make(map[int32]bool),
+		cancel:   cancel,
+		done:     make(chan struct{}),
 	}
 	go d.run(ctx)
 	return d
@@ -84,6 +95,11 @@ func (d *Dispatcher) run(ctx context.Context) {
 			return
 		}
 		d.mu.Lock()
+		if d.released[m.Query] {
+			d.mu.Unlock()
+			lateMsgs.Inc()
+			continue
+		}
 		q := d.queue(m.Query)
 		q.pending = append(q.pending, m)
 		q.stats.msgsIn.Add(1)
@@ -114,7 +130,8 @@ func (d *Dispatcher) queue(query int32) *dispatchQueue {
 // query finishes.
 func (d *Dispatcher) Endpoint(query int32) rpc.Endpoint {
 	d.mu.Lock()
-	q := d.queue(query) // pre-create so early arrivals buffer
+	delete(d.released, query) // an explicit re-registration reopens the id
+	q := d.queue(query)       // pre-create so early arrivals buffer
 	d.mu.Unlock()
 	return &queryEndpoint{d: d, query: query, stats: q.stats}
 }
@@ -154,7 +171,9 @@ func (s *queryStats) snapshot(query int32) DispatchStats {
 	}
 }
 
-// Release drops a finished query's buffers.
+// Release drops a finished query's buffers. Messages for the query that
+// arrive later are dropped and counted in adr_dispatch_late_msgs_total
+// rather than re-creating the queue.
 func (d *Dispatcher) Release(query int32) {
 	d.mu.Lock()
 	if q, ok := d.queues[query]; ok {
@@ -162,6 +181,7 @@ func (d *Dispatcher) Release(query int32) {
 		q.cond.Broadcast()
 		delete(d.queues, query)
 	}
+	d.released[query] = true
 	d.mu.Unlock()
 }
 
@@ -194,10 +214,15 @@ func (e *queryEndpoint) Send(m rpc.Message) error {
 	return nil
 }
 
-// Recv blocks for this query's next message.
+// Recv blocks for this query's next message. After Release it reports the
+// endpoint closed instead of resurrecting the query's queue.
 func (e *queryEndpoint) Recv(ctx context.Context) (rpc.Message, error) {
 	d := e.d
 	d.mu.Lock()
+	if d.released[e.query] {
+		d.mu.Unlock()
+		return rpc.Message{}, rpc.ErrClosed
+	}
 	q := d.queue(e.query)
 
 	// Wake the waiter if the context dies.

@@ -159,3 +159,67 @@ func TestDispatcherRecvContext(t *testing.T) {
 		t.Error("Recv should respect context deadline")
 	}
 }
+
+// TestDispatcherDropsLateMessages: a message arriving after Release must be
+// dropped and counted, not silently resurrect the query's queue — the queue
+// leak this guards against had no other owner to ever delete it.
+func TestDispatcherDropsLateMessages(t *testing.T) {
+	f, err := rpc.NewInprocFabric(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, _ := f.Endpoint(0)
+	ep1, _ := f.Endpoint(1)
+	d := NewDispatcher(ep1)
+	defer d.Close()
+
+	q := d.Endpoint(5)
+	d.Release(5)
+
+	before := lateMsgs.Value()
+	if err := ep0.Send(rpc.Message{Src: 0, Dst: 1, Query: 5, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for lateMsgs.Value() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("late message never counted in adr_dispatch_late_msgs_total")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	d.mu.Lock()
+	_, resurrected := d.queues[5]
+	d.mu.Unlock()
+	if resurrected {
+		t.Error("late message resurrected the released queue")
+	}
+	if _, err := q.Recv(context.Background()); err == nil {
+		t.Error("Recv on a released endpoint should error, not block on a ghost queue")
+	}
+}
+
+// TestDispatcherEndpointReopensReleasedQuery: explicit re-registration of a
+// query id (a retry reusing the id) reopens it.
+func TestDispatcherEndpointReopensReleasedQuery(t *testing.T) {
+	f, err := rpc.NewInprocFabric(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, _ := f.Endpoint(0)
+	ep1, _ := f.Endpoint(1)
+	d := NewDispatcher(ep1)
+	defer d.Close()
+
+	d.Endpoint(7)
+	d.Release(7)
+	q := d.Endpoint(7) // reopen
+	if err := ep0.Send(rpc.Message{Src: 0, Dst: 1, Query: 7, Seq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := q.Recv(context.Background())
+	if err != nil || m.Seq != 9 {
+		t.Fatalf("recv after reopen = %+v, %v", m, err)
+	}
+}

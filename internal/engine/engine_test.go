@@ -19,15 +19,15 @@ func TestMailboxTakeByTileAndType(t *testing.T) {
 	m.put(rpc.Message{Tile: 0, Type: msgInputChunk, Seq: 20})
 	m.put(rpc.Message{Tile: 0, Type: msgGhostAccum, Seq: 30})
 
-	got, err := m.take(0, msgGhostAccum)
+	got, err := m.take(context.Background(), 0, msgGhostAccum)
 	if err != nil || got.Seq != 30 {
 		t.Errorf("take(0, ghost) = %+v, %v", got, err)
 	}
-	got, err = m.take(1, msgGhostAccum)
+	got, err = m.take(context.Background(), 1, msgGhostAccum)
 	if err != nil || got.Seq != 10 {
 		t.Errorf("take(1, ghost) = %+v, %v", got, err)
 	}
-	got, err = m.take(0, msgInputChunk)
+	got, err = m.take(context.Background(), 0, msgInputChunk)
 	if err != nil || got.Seq != 20 {
 		t.Errorf("take(0, input) = %+v, %v", got, err)
 	}
@@ -39,7 +39,7 @@ func TestMailboxFIFOWithinKey(t *testing.T) {
 		m.put(rpc.Message{Tile: 0, Type: msgInputChunk, Seq: i})
 	}
 	for i := int32(0); i < 10; i++ {
-		got, err := m.take(0, msgInputChunk)
+		got, err := m.take(context.Background(), 0, msgInputChunk)
 		if err != nil || got.Seq != i {
 			t.Fatalf("take %d = %+v, %v", i, got, err)
 		}
@@ -50,7 +50,7 @@ func TestMailboxBlocksUntilPut(t *testing.T) {
 	m := newMailbox()
 	done := make(chan rpc.Message, 1)
 	go func() {
-		msg, _ := m.take(3, msgFinalOutput)
+		msg, _ := m.take(context.Background(), 3, msgFinalOutput)
 		done <- msg
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -74,7 +74,7 @@ func TestMailboxFailUnblocksTakers(t *testing.T) {
 	m := newMailbox()
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := m.take(0, msgInputChunk)
+		_, err := m.take(context.Background(), 0, msgInputChunk)
 		errCh <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -94,11 +94,11 @@ func TestMailboxDrainableAfterFail(t *testing.T) {
 	m := newMailbox()
 	m.put(rpc.Message{Tile: 0, Type: msgGhostAccum, Seq: 5})
 	m.fail(errors.New("closed"))
-	got, err := m.take(0, msgGhostAccum)
+	got, err := m.take(context.Background(), 0, msgGhostAccum)
 	if err != nil || got.Seq != 5 {
 		t.Errorf("pending message lost after fail: %+v, %v", got, err)
 	}
-	if _, err := m.take(0, msgGhostAccum); err == nil {
+	if _, err := m.take(context.Background(), 0, msgGhostAccum); err == nil {
 		t.Error("empty mailbox after fail should error")
 	}
 }
@@ -124,7 +124,7 @@ func TestMailboxRunDrainsEndpoint(t *testing.T) {
 		}
 	}
 	for i := 0; i < total; i++ {
-		got, err := m.take(0, msgInputChunk)
+		got, err := m.take(context.Background(), 0, msgInputChunk)
 		if err != nil || got.Seq != int32(i) {
 			t.Fatalf("take %d = %+v, %v", i, got, err)
 		}
@@ -211,5 +211,36 @@ func TestMsgTypeNames(t *testing.T) {
 	}
 	if msgTypeName(200) == "" {
 		t.Error("unknown type should still render")
+	}
+}
+
+// TestMailboxAbortMessage: an inbound abort terminates the mailbox with a
+// typed AbortError naming the sender, regardless of tile or phase.
+func TestMailboxAbortMessage(t *testing.T) {
+	m := newMailbox()
+	m.put(rpc.Message{Src: 2, Tile: 99, Type: msgAbort, Payload: []byte("node 2: disk on fire")})
+	_, err := m.take(context.Background(), 0, msgInputChunk)
+	var abort *AbortError
+	if !errors.As(err, &abort) {
+		t.Fatalf("take after abort = %v, want *AbortError", err)
+	}
+	if abort.Node != 2 || abort.Reason != "node 2: disk on fire" {
+		t.Errorf("abort = %+v", abort)
+	}
+}
+
+// TestMailboxTakeContextDeadline: a taker waiting on a peer that never
+// speaks returns when its context expires instead of blocking forever.
+func TestMailboxTakeContextDeadline(t *testing.T) {
+	m := newMailbox()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := m.take(ctx, 0, msgInputChunk)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("take = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("take did not honour the deadline promptly")
 	}
 }

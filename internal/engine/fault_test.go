@@ -1,0 +1,282 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adr/internal/apps"
+	"adr/internal/chunk"
+	"adr/internal/core"
+	"adr/internal/engine"
+	"adr/internal/plan"
+	"adr/internal/rpc"
+	"adr/internal/rpc/faultep"
+)
+
+// planDA builds the 3-node repo and a DA plan whose execution exchanges
+// input forwards between all nodes — the dependency structure that turns a
+// single dead node into a mesh-wide stall if failure detection is broken.
+func planDA(t *testing.T, nodes int) (*core.Repository, *core.Result, engine.Config) {
+	t.Helper()
+	repo := buildRepo(t, nodes)
+	res, err := repo.Execute(context.Background(), &core.Query{
+		Input: "pts", Output: "img", Strategy: plan.DA,
+		App: &apps.RasterApp{Op: apps.Sum, CellsPerDim: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := engine.Config{
+		Plan: res.Plan, Workload: res.Workload,
+		App:          &apps.RasterApp{Op: apps.Sum, CellsPerDim: 4},
+		InputDataset: "pts",
+		OnResult:     func(rpc.NodeID, *chunk.Chunk) error { return nil },
+	}
+	return repo, res, cfg
+}
+
+// TestTCPPeerDeathAbortsQuery is the acceptance test for the failure model:
+// kill one TCP node mid-query and every survivor must return a typed error
+// rooted in the peer failure — within the deadline, never a hang. At least
+// one survivor sees the raw *rpc.PeerError naming node 0; the others may
+// instead receive the abort that the first detector broadcast.
+func TestTCPPeerDeathAbortsQuery(t *testing.T) {
+	const nodes = 3
+	repo, _, cfg := planDA(t, nodes)
+
+	mesh, err := rpc.NewLoopbackMesh(nodes, rpc.TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	st := engine.FarmStorage{Farm: repo.Farm()}
+
+	errs := make(chan error, nodes-1)
+	for q := 1; q < nodes; q++ {
+		ep, err := mesh.Endpoint(rpc.NodeID(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(ep rpc.Endpoint) {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_, err := engine.RunNode(ctx, cfg, ep, st)
+			errs <- err
+		}(ep)
+	}
+
+	// Node 0 joins the mesh but dies shortly after the query starts.
+	ep0, _ := mesh.Endpoint(0)
+	time.Sleep(100 * time.Millisecond)
+	ep0.Close()
+
+	sawPeerError := false
+	for i := 0; i < nodes-1; i++ {
+		select {
+		case err := <-errs:
+			if err == nil {
+				t.Fatal("survivor completed against a dead peer")
+			}
+			var pe *rpc.PeerError
+			var abort *engine.AbortError
+			switch {
+			case errors.As(err, &pe):
+				sawPeerError = true
+				if pe.Peer != 0 {
+					t.Errorf("PeerError names peer %d, want 0: %v", pe.Peer, err)
+				}
+			case errors.As(err, &abort):
+				// A peer that learned of the death via a survivor's abort
+				// broadcast: the reason must still trace back to node 0.
+				if !strings.Contains(abort.Reason, "peer 0") {
+					t.Errorf("abort reason does not trace to node 0: %v", err)
+				}
+			default:
+				t.Errorf("survivor error is neither PeerError nor AbortError: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("survivor hung after TCP peer death")
+		}
+	}
+	if !sawPeerError {
+		t.Error("no survivor returned the transport-level *rpc.PeerError")
+	}
+}
+
+// TestStorageFailureBroadcastsAbort: a node failing on its own disk tells
+// the mesh via the abort broadcast; peers with perfectly healthy transport
+// return an *engine.AbortError naming the failing node instead of blocking
+// on forwards that will never come. Each node runs under its own context so
+// the propagation is the protocol's, not a shared cancellation's.
+func TestStorageFailureBroadcastsAbort(t *testing.T) {
+	const nodes = 3
+	repo, res, cfg := planDA(t, nodes)
+
+	// Fail a chunk owned by node 2, so node 2 is the one that aborts.
+	victim := chunk.Meta{}
+	for _, in := range res.Workload.Inputs {
+		if in.Node == 2 {
+			victim = in
+			break
+		}
+	}
+	if victim.Node != 2 {
+		t.Fatal("no input chunk owned by node 2")
+	}
+	flaky := &flakyStorage{
+		ChunkStorage: engine.FarmStorage{Farm: repo.Farm()},
+		failOn:       map[chunk.ID]bool{victim.ID: true},
+	}
+
+	fabric, err := rpc.NewInprocFabric(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabric.Close()
+
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for q := 0; q < nodes; q++ {
+		ep, err := fabric.Endpoint(rpc.NodeID(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(q int, ep rpc.Endpoint) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_, errs[q] = engine.RunNode(ctx, cfg, ep, flaky)
+		}(q, ep)
+	}
+	wg.Wait()
+
+	if errs[2] == nil || !strings.Contains(errs[2].Error(), "injected disk failure") {
+		t.Errorf("failing node error = %v, want the disk failure", errs[2])
+	}
+	for q := 0; q < 2; q++ {
+		var abort *engine.AbortError
+		if !errors.As(errs[q], &abort) {
+			t.Fatalf("node %d error = %v, want *engine.AbortError", q, errs[q])
+		}
+		if abort.Node != 2 {
+			t.Errorf("node %d abort names node %d, want 2", q, abort.Node)
+		}
+		if !strings.Contains(abort.Reason, "injected disk failure") {
+			t.Errorf("node %d abort reason lost the cause: %q", q, abort.Reason)
+		}
+	}
+	if flaky.failures == 0 {
+		t.Fatal("test did not exercise the failure path")
+	}
+}
+
+// TestFaultInjectionSendErrorAborts drives the faultep harness through a
+// real query: node 1's link errors every outbound message (aborts included,
+// as a fully severed link would), so node 1 fails with the injected error
+// and its peers — whose transport is healthy and who therefore hear nothing
+// — fall back to their per-node context deadlines instead of hanging.
+func TestFaultInjectionSendErrorAborts(t *testing.T) {
+	const nodes = 3
+	repo, _, cfg := planDA(t, nodes)
+
+	inner, err := rpc.NewInprocFabric(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := faultep.WrapFabric(inner)
+	defer fabric.Close()
+	boom := fmt.Errorf("injected link failure")
+	n1, err := fabric.Node(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1.OnSend(faultep.All, faultep.Action{Err: boom})
+
+	st := engine.FarmStorage{Farm: repo.Farm()}
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for q := 0; q < nodes; q++ {
+		ep, err := fabric.Endpoint(rpc.NodeID(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(q int, ep rpc.Endpoint) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 4*time.Second)
+			defer cancel()
+			_, errs[q] = engine.RunNode(ctx, cfg, ep, st)
+		}(q, ep)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("nodes hung despite context deadlines")
+	}
+
+	if !errors.Is(errs[1], boom) {
+		t.Errorf("node 1 error = %v, want the injected link failure", errs[1])
+	}
+	for _, q := range []int{0, 2} {
+		if errs[q] == nil {
+			t.Errorf("node %d completed despite a mute peer", q)
+		}
+	}
+}
+
+// TestFaultInjectionDelayTransparent: the harness with only delay rules must
+// not change results — a slow mesh is a correct mesh.
+func TestFaultInjectionDelayTransparent(t *testing.T) {
+	repo := buildRepo(t, 2)
+	q := &core.Query{
+		Input: "pts", Output: "img", Strategy: plan.FRA,
+		App: &apps.RasterApp{Op: apps.Sum, CellsPerDim: 4},
+	}
+	res, err := repo.Execute(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := render(res.Chunks)
+
+	inner, err := rpc.NewInprocFabric(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := faultep.WrapFabric(inner)
+	defer fabric.Close()
+	for id := rpc.NodeID(0); id < 2; id++ {
+		ep, err := fabric.Node(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep.OnRecv(faultep.All, faultep.Action{Delay: time.Millisecond})
+	}
+
+	var mu sync.Mutex
+	var got []*chunk.Chunk
+	cfg := engine.Config{
+		Plan: res.Plan, Workload: res.Workload,
+		App:          &apps.RasterApp{Op: apps.Sum, CellsPerDim: 4},
+		InputDataset: "pts",
+		OnResult: func(node rpc.NodeID, c *chunk.Chunk) error {
+			mu.Lock()
+			got = append(got, c)
+			mu.Unlock()
+			return nil
+		},
+	}
+	if _, err := engine.Run(context.Background(), cfg, fabric, engine.FarmStorage{Farm: repo.Farm()}); err != nil {
+		t.Fatal(err)
+	}
+	if render(got) != want {
+		t.Error("delayed mesh changed the query result")
+	}
+}

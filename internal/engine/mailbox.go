@@ -13,6 +13,10 @@ import (
 // running ahead into the next tile can never exert backpressure that
 // deadlocks the mesh — and the node loop takes messages by (tile, type) in
 // whatever order its current phase needs them.
+//
+// Failure propagation flows through here: a transport error (dead peer,
+// closed endpoint) or an inbound msgAbort terminates the mailbox, so every
+// blocked take unblocks with the cause instead of waiting forever.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -48,6 +52,12 @@ func (m *mailbox) run(ctx context.Context, ep rpc.Endpoint) {
 }
 
 func (m *mailbox) put(msg rpc.Message) {
+	if uint8(msg.Type) == msgAbort {
+		// A peer failed and is telling the mesh: terminate, carrying who and
+		// why, regardless of which tile either side is in.
+		m.fail(&AbortError{Node: msg.Src, Reason: string(msg.Payload)})
+		return
+	}
 	k := mboxKey{tile: msg.Tile, typ: uint8(msg.Type)}
 	m.mu.Lock()
 	m.pending[k] = append(m.pending[k], msg)
@@ -56,7 +66,8 @@ func (m *mailbox) put(msg rpc.Message) {
 }
 
 // fail marks the mailbox dead; pending messages remain takeable so a node
-// that has already received everything it needs can still finish.
+// that has already received everything it needs can still finish. Only the
+// first failure is recorded.
 func (m *mailbox) fail(err error) {
 	m.mu.Lock()
 	if !m.closed {
@@ -67,11 +78,22 @@ func (m *mailbox) fail(err error) {
 	m.cond.Broadcast()
 }
 
-// take blocks until a message of the given tile and type is available.
-func (m *mailbox) take(tile int32, typ uint8) (rpc.Message, error) {
+// take blocks until a message of the given tile and type is available, the
+// mailbox fails, or the context is done — so a node waiting on a peer that
+// will never speak again still returns within its deadline.
+func (m *mailbox) take(ctx context.Context, tile int32, typ uint8) (rpc.Message, error) {
 	k := mboxKey{tile: tile, typ: typ}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+
+	// Wake this waiter when the context dies.
+	stop := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer stop()
+
 	for {
 		if q := m.pending[k]; len(q) > 0 {
 			msg := q[0]
@@ -87,6 +109,9 @@ func (m *mailbox) take(tile int32, typ uint8) (rpc.Message, error) {
 				return rpc.Message{}, m.err
 			}
 			return rpc.Message{}, errMailboxClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return rpc.Message{}, err
 		}
 		m.cond.Wait()
 	}

@@ -81,9 +81,13 @@ func runNode(ctx context.Context, cfg Config, ep rpc.Endpoint, st ChunkStorage) 
 
 	for t := range cfg.Plan.Tiles {
 		if err := ctx.Err(); err != nil {
+			n.abortPeers(int32(t), err)
 			return n, time.Since(start), err
 		}
 		if err := n.runTile(ctx, int32(t)); err != nil {
+			// Tell the mesh before returning: peers blocked on this node's
+			// messages must fail within their deadline, not hang.
+			n.abortPeers(int32(t), err)
 			return n, time.Since(start), fmt.Errorf("engine: node %d tile %d: %w", n.self, t, err)
 		}
 	}
@@ -184,18 +188,20 @@ func (n *node) prepare() {
 }
 
 // runTile advances this node through the four §2.4 phases for one tile.
+// The context bounds every blocking wait, so a caller-imposed deadline
+// aborts the tile rather than letting it block in mbox.take forever.
 func (n *node) runTile(ctx context.Context, t int32) error {
-	accs, err := n.phaseInit(t)
+	accs, err := n.phaseInit(ctx, t)
 	if err != nil {
 		return fmt.Errorf("initialization: %w", err)
 	}
 	if err := n.phaseLocalReduction(ctx, t, accs); err != nil {
 		return fmt.Errorf("local reduction: %w", err)
 	}
-	if err := n.phaseGlobalCombine(t, accs); err != nil {
+	if err := n.phaseGlobalCombine(ctx, t, accs); err != nil {
 		return fmt.Errorf("global combine: %w", err)
 	}
-	if err := n.phaseOutput(t, accs); err != nil {
+	if err := n.phaseOutput(ctx, t, accs); err != nil {
 		return fmt.Errorf("output handling: %w", err)
 	}
 	return nil
@@ -204,7 +210,7 @@ func (n *node) runTile(ctx context.Context, t int32) error {
 // phaseInit allocates and initializes the accumulator chunks this node
 // holds for the tile (locals it homes plus ghosts), retrieving and
 // forwarding existing output chunks when the app requires them.
-func (n *node) phaseInit(t int32) (map[int32]Accumulator, error) {
+func (n *node) phaseInit(ctx context.Context, t int32) (map[int32]Accumulator, error) {
 	p, w := n.cfg.Plan, n.cfg.Workload
 	tile := &p.Tiles[t]
 	needInit := n.cfg.App.InitRequiresOutput()
@@ -247,7 +253,7 @@ func (n *node) phaseInit(t int32) (map[int32]Accumulator, error) {
 		// Replica duties: receive existing chunks for allocations whose
 		// owner is remote.
 		for k := 0; k < n.expect[t].outputInits; k++ {
-			msg, err := n.mbox.take(t, msgOutputInit)
+			msg, err := n.mbox.take(ctx, t, msgOutputInit)
 			if err != nil {
 				return nil, err
 			}
@@ -404,7 +410,7 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 
 	// Fold in inputs forwarded from other nodes.
 	for k := 0; k < n.expect[t].inputs; k++ {
-		msg, err := n.mbox.take(t, msgInputChunk)
+		msg, err := n.mbox.take(ctx, t, msgInputChunk)
 		if err != nil {
 			return err
 		}
@@ -422,7 +428,7 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 
 // phaseGlobalCombine sends this node's ghost accumulators to their homes
 // and combines the ghosts other nodes send here into the final values.
-func (n *node) phaseGlobalCombine(t int32, accs map[int32]Accumulator) error {
+func (n *node) phaseGlobalCombine(ctx context.Context, t int32, accs map[int32]Accumulator) error {
 	p, w := n.cfg.Plan, n.cfg.Workload
 	tile := &p.Tiles[t]
 
@@ -443,7 +449,7 @@ func (n *node) phaseGlobalCombine(t int32, accs map[int32]Accumulator) error {
 	}
 
 	for k := 0; k < n.expect[t].ghostTotal; k++ {
-		msg, err := n.mbox.take(t, msgGhostAccum)
+		msg, err := n.mbox.take(ctx, t, msgGhostAccum)
 		if err != nil {
 			return err
 		}
@@ -470,7 +476,7 @@ func (n *node) phaseGlobalCombine(t int32, accs map[int32]Accumulator) error {
 // phaseOutput finalizes this node's homed accumulators into output chunks,
 // ships homed-away chunks to their owners, and emits everything this node
 // owns.
-func (n *node) phaseOutput(t int32, accs map[int32]Accumulator) error {
+func (n *node) phaseOutput(ctx context.Context, t int32, accs map[int32]Accumulator) error {
 	p, w := n.cfg.Plan, n.cfg.Workload
 	tile := &p.Tiles[t]
 
@@ -497,7 +503,7 @@ func (n *node) phaseOutput(t int32, accs map[int32]Accumulator) error {
 	}
 
 	for k := 0; k < n.expect[t].finals; k++ {
-		msg, err := n.mbox.take(t, msgFinalOutput)
+		msg, err := n.mbox.take(ctx, t, msgFinalOutput)
 		if err != nil {
 			return err
 		}

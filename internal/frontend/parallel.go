@@ -90,7 +90,7 @@ func (c *ParallelClient) queryNode(i int, addr string, qid int32, spec *QuerySpe
 			out.Stats = msg.Stats
 			return out
 		case "error":
-			out.Err = fmt.Errorf("%s", msg.Error)
+			out.Err = queryErrFrom(i, &msg)
 			return out
 		default:
 			out.Err = fmt.Errorf("unknown frame %q", msg.Type)

@@ -114,8 +114,47 @@ type Message struct {
 	Chunk *ChunkJSON `json:"chunk,omitempty"`
 	// Error, for type "error".
 	Error string `json:"error,omitempty"`
+	// ErrInfo, for type "error", locates the failure (which node reported
+	// it, which node caused it) so clients and operators can tell a dead
+	// back-end node from a bad query.
+	ErrInfo *ErrorInfo `json:"error_info,omitempty"`
 	// Stats, for type "done".
 	Stats *DoneStats `json:"stats,omitempty"`
+}
+
+// ErrorInfo is the structured half of an error frame.
+type ErrorInfo struct {
+	// Node is the node reporting the failure (-1: the front-end itself).
+	Node int `json:"node"`
+	// Origin is the node that caused the failure when the error chain
+	// identifies one — the dead mesh peer of an rpc.PeerError or the
+	// aborting node of an engine.AbortError — else -1.
+	Origin int `json:"origin"`
+	// Message is the full error text.
+	Message string `json:"message"`
+}
+
+// QueryError is a failed query as seen through the client protocol,
+// carrying the reporting and originating node ids from the error frame.
+type QueryError struct {
+	// Node reported the failure (-1: front-end).
+	Node int
+	// Origin caused it when known, else -1.
+	Origin int
+	// Message is the error text.
+	Message string
+}
+
+// Error names the failing node when one is known.
+func (e *QueryError) Error() string {
+	switch {
+	case e.Origin >= 0 && e.Origin != e.Node:
+		return fmt.Sprintf("query failed at node %d (caused by node %d): %s", e.Node, e.Origin, e.Message)
+	case e.Node >= 0:
+		return fmt.Sprintf("query failed at node %d: %s", e.Node, e.Message)
+	default:
+		return fmt.Sprintf("query failed: %s", e.Message)
+	}
 }
 
 // ChunkJSON is an output chunk on the wire.

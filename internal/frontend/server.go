@@ -2,6 +2,7 @@ package frontend
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -95,7 +96,7 @@ func (s *Server) handleClient(conn net.Conn) {
 			return
 		}
 		if err := s.runQuery(&spec, w); err != nil {
-			WriteJSON(w, &Message{Type: "error", Error: err.Error()})
+			WriteJSON(w, &Message{Type: "error", Error: err.Error(), ErrInfo: errInfoFrom(err)})
 		}
 		if err := w.Flush(); err != nil {
 			return
@@ -182,7 +183,7 @@ func (s *Server) relayQuery(id int32, spec *QuerySpec, w *bufio.Writer) (*DoneSt
 					outcomes[i].stats = msg.Stats
 					return
 				case "error":
-					outcomes[i].err = fmt.Errorf("node %d: %s", i, msg.Error)
+					outcomes[i].err = queryErrFrom(i, &msg)
 					return
 				default:
 					outcomes[i].err = fmt.Errorf("node %d: unknown frame %q", i, msg.Type)
@@ -252,7 +253,29 @@ func (c *Client) Query(spec *QuerySpec) ([]*ChunkJSON, *DoneStats, error) {
 		case "done":
 			return chunks, msg.Stats, nil
 		case "error":
+			if msg.ErrInfo != nil {
+				return chunks, nil, &QueryError{Node: msg.ErrInfo.Node, Origin: msg.ErrInfo.Origin, Message: msg.ErrInfo.Message}
+			}
 			return chunks, nil, fmt.Errorf("frontend: %s", msg.Error)
 		}
 	}
+}
+
+// queryErrFrom converts a node's error frame into a typed QueryError,
+// preserving the structured failure location when the node sent one.
+func queryErrFrom(node int, msg *Message) error {
+	if msg.ErrInfo != nil {
+		return &QueryError{Node: msg.ErrInfo.Node, Origin: msg.ErrInfo.Origin, Message: msg.ErrInfo.Message}
+	}
+	return &QueryError{Node: node, Origin: -1, Message: msg.Error}
+}
+
+// errInfoFrom recovers the structured frame for an outbound error: typed
+// QueryErrors keep their location, everything else is the front-end's own.
+func errInfoFrom(err error) *ErrorInfo {
+	var qe *QueryError
+	if errors.As(err, &qe) {
+		return &ErrorInfo{Node: qe.Node, Origin: qe.Origin, Message: qe.Message}
+	}
+	return &ErrorInfo{Node: -1, Origin: -1, Message: err.Error()}
 }

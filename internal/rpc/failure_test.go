@@ -1,0 +1,185 @@
+package rpc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestTCPPeerDeathFailsSurvivors: killing one node of an established mesh
+// must surface as a *PeerError naming the dead node on every survivor, for
+// both blocked receives and subsequent sends — never a silent hang.
+func TestTCPPeerDeathFailsSurvivors(t *testing.T) {
+	mesh, err := NewLoopbackMesh(3, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+
+	// Survivors block in Recv before the victim dies.
+	type outcome struct {
+		node NodeID
+		err  error
+	}
+	results := make(chan outcome, 2)
+	for id := 1; id < 3; id++ {
+		ep, _ := mesh.Endpoint(NodeID(id))
+		go func(ep Endpoint) {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_, err := ep.Recv(ctx)
+			results <- outcome{ep.Self(), err}
+		}(ep)
+	}
+	time.Sleep(50 * time.Millisecond)
+	mesh.nodes[0].Close() // node 0 dies
+
+	for i := 0; i < 2; i++ {
+		select {
+		case res := <-results:
+			var pe *PeerError
+			if !errors.As(res.err, &pe) {
+				t.Fatalf("node %d: recv error %v is not a *PeerError", res.node, res.err)
+			}
+			if pe.Peer != 0 {
+				t.Errorf("node %d: failure names peer %d, want 0", res.node, pe.Peer)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("survivor hung after peer death")
+		}
+	}
+
+	// Sends to the dead peer fail fast once the failure is detected.
+	n1 := mesh.nodes[1]
+	var pe *PeerError
+	if err := n1.Send(Message{Src: 1, Dst: 0}); !errors.As(err, &pe) {
+		t.Errorf("send to dead peer = %v, want *PeerError", err)
+	}
+
+	// Liveness is visible in the metrics registry.
+	if v := n1.met.peerUp[0].Value(); v != 0 {
+		t.Errorf("adr_rpc_peer_up{peer=0} = %v after death, want 0", v)
+	}
+	if n1.met.peerFailures.Value() == 0 {
+		t.Error("adr_rpc_peer_failures_total not incremented")
+	}
+}
+
+// TestTCPSendTimeoutMarksPeerDead: a peer that stops draining its connection
+// must not block the sender forever — the send times out with a *PeerError
+// and the peer is dead for every later send.
+func TestTCPSendTimeoutMarksPeerDead(t *testing.T) {
+	mesh, err := NewLoopbackMesh(2, TCPOptions{
+		InboxDepth:  1,
+		SendTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+
+	// Node 1 never receives. Large payloads fill its inbox, the socket
+	// buffers and then node 0's outbox; the blocked send must time out
+	// rather than wedge.
+	n0 := mesh.nodes[0]
+	payload := make([]byte, 1<<20)
+	var sendErr error
+	for i := 0; i < 200; i++ {
+		if sendErr = n0.Send(Message{Src: 0, Dst: 1, Seq: int32(i), Payload: payload}); sendErr != nil {
+			break
+		}
+	}
+	var pe *PeerError
+	if !errors.As(sendErr, &pe) {
+		t.Fatalf("blocked send returned %v, want *PeerError", sendErr)
+	}
+	if pe.Peer != 1 {
+		t.Errorf("timeout names peer %d, want 1", pe.Peer)
+	}
+	// The peer is now dead: the next send fails immediately.
+	start := time.Now()
+	if err := n0.Send(Message{Src: 0, Dst: 1, Payload: payload}); !errors.As(err, &pe) {
+		t.Errorf("send after timeout = %v, want *PeerError", err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Errorf("send after peer death took %v, want fail-fast", d)
+	}
+}
+
+// TestTCPMalformedFrameClosesConnection: a frame whose length field is
+// impossible must kill the whole connection on the receiving side — reads
+// AND writes — with the decoded reason recorded, not just end the read half.
+func TestTCPMalformedFrameClosesConnection(t *testing.T) {
+	mesh, err := NewLoopbackMesh(2, TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+
+	// Write a header announcing a frame shorter than the header itself
+	// directly into node 0's socket to node 1.
+	n0 := mesh.nodes[0]
+	n0.mu.Lock()
+	conn := n0.conns[1]
+	n0.mu.Unlock()
+	var hdr [4 + tcpHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 5) // < tcpHeaderLen
+	if _, err := conn.c.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 1 detects the malformed frame: its Recv fails with a *PeerError
+	// whose op names the frame decode.
+	n1 := mesh.nodes[1]
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, rerr := n1.Recv(ctx)
+	var pe *PeerError
+	if !errors.As(rerr, &pe) {
+		t.Fatalf("recv after malformed frame = %v, want *PeerError", rerr)
+	}
+	if pe.Op != "frame" || pe.Peer != 0 {
+		t.Errorf("failure = peer %d op %q, want peer 0 op \"frame\"", pe.Peer, pe.Op)
+	}
+
+	// The write half died with the read half: sends to node 0 fail too.
+	if err := n1.Send(Message{Src: 1, Dst: 0}); !errors.As(err, &pe) {
+		t.Errorf("send on poisoned connection = %v, want *PeerError", err)
+	}
+}
+
+// TestInprocPeerDeathMirrorsTCP: closing one inproc endpoint is that node's
+// death — peers' sends and receives fail with the same typed error the TCP
+// transport produces, so engine failure paths are testable in-process.
+func TestInprocPeerDeathMirrorsTCP(t *testing.T) {
+	f, err := NewInprocFabric(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ep0, _ := f.Endpoint(0)
+	ep1, _ := f.Endpoint(1)
+	ep2, _ := f.Endpoint(2)
+
+	// A message buffered before the death must still be delivered.
+	if err := ep1.Send(Message{Src: 1, Dst: 0, Seq: 7}); err != nil {
+		t.Fatal(err)
+	}
+	ep2.Close() // node 2 dies
+
+	var pe *PeerError
+	if err := ep0.Send(Message{Src: 0, Dst: 2}); !errors.As(err, &pe) || !errors.Is(err, ErrClosed) {
+		t.Errorf("send to dead peer = %v, want *PeerError wrapping ErrClosed", err)
+	}
+	got, err := ep0.Recv(context.Background())
+	if err != nil || got.Seq != 7 {
+		t.Fatalf("buffered message lost after peer death: %+v, %v", got, err)
+	}
+	if _, err := ep0.Recv(context.Background()); !errors.As(err, &pe) {
+		t.Fatalf("recv after peer death = %v, want *PeerError", err)
+	} else if pe.Peer != 2 {
+		t.Errorf("failure names peer %d, want 2", pe.Peer)
+	}
+}

@@ -10,6 +10,13 @@ import (
 // buffered inbox; Send never blocks for longer than the inbox has room,
 // which models a bounded network buffer. Per-pair ordering follows from
 // channel FIFO semantics because every (src,dst) pair uses a single channel.
+//
+// Failure semantics mirror the TCP transport so engine failure paths are
+// testable in-process: closing one endpoint is that node's death. Sends to
+// it fail with a *PeerError, and every surviving endpoint's Recv reports
+// the peer failure once its buffered messages are drained. A fabric-wide
+// Close is a shutdown, not a failure, and is not counted in the failure
+// metrics.
 type InprocFabric struct {
 	mu        sync.Mutex
 	endpoints []*inprocEndpoint
@@ -23,6 +30,13 @@ type inprocEndpoint struct {
 	inbox  chan Message
 	done   chan struct{}
 	once   sync.Once
+
+	// peerFail is closed when any peer endpoint dies; failErr records the
+	// first failure.
+	peerFail chan struct{}
+	failOnce sync.Once
+	failMu   sync.Mutex
+	failErr  error
 }
 
 // DefaultInboxDepth bounds the number of in-flight messages per receiving
@@ -42,11 +56,13 @@ func NewInprocFabric(n, depth int) (*InprocFabric, error) {
 	f := &InprocFabric{met: newMeters("inproc", n)}
 	for i := 0; i < n; i++ {
 		f.endpoints = append(f.endpoints, &inprocEndpoint{
-			fabric: f,
-			id:     NodeID(i),
-			inbox:  make(chan Message, depth),
-			done:   make(chan struct{}),
+			fabric:   f,
+			id:       NodeID(i),
+			inbox:    make(chan Message, depth),
+			done:     make(chan struct{}),
+			peerFail: make(chan struct{}),
 		})
+		f.met.up(NodeID(i))
 	}
 	return f, nil
 }
@@ -74,11 +90,47 @@ func (f *InprocFabric) Close() error {
 	return nil
 }
 
+// notifyPeerDown marks every surviving endpoint failed because peer id
+// died. During a fabric-wide Close this is a shutdown, not a failure, and
+// stays out of the metrics.
+func (f *InprocFabric) notifyPeerDown(id NodeID) {
+	f.mu.Lock()
+	shutdown := f.closed
+	f.mu.Unlock()
+	if !shutdown {
+		f.met.down(id)
+	}
+	for _, ep := range f.endpoints {
+		if ep.id == id {
+			continue
+		}
+		ep.failPeer(&PeerError{Peer: id, Op: "recv", Err: ErrClosed})
+	}
+}
+
+// failPeer records the first peer failure and wakes blocked receivers.
+func (e *inprocEndpoint) failPeer(err error) {
+	e.failOnce.Do(func() {
+		e.failMu.Lock()
+		e.failErr = err
+		e.failMu.Unlock()
+		close(e.peerFail)
+	})
+}
+
+// failure returns the first peer failure observed, or nil.
+func (e *inprocEndpoint) failure() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failErr
+}
+
 func (e *inprocEndpoint) Self() NodeID { return e.id }
 func (e *inprocEndpoint) Nodes() int   { return len(e.fabric.endpoints) }
 
 // Send routes m to its destination's inbox, blocking if the inbox is full
-// (backpressure) unless either side closes first.
+// (backpressure) unless either side closes first. Sending to a dead peer
+// fails with a *PeerError (which unwraps to ErrClosed).
 func (e *inprocEndpoint) Send(m Message) error {
 	if err := Validate(m, e.Nodes()); err != nil {
 		return err
@@ -92,18 +144,28 @@ func (e *inprocEndpoint) Send(m Message) error {
 		return ErrClosed
 	default:
 	}
+	// Checked before the delivery select: a dead destination's inbox may
+	// still have room, and select would otherwise pick between the two ready
+	// cases at random.
+	select {
+	case <-dst.done:
+		return &PeerError{Peer: m.Dst, Op: "send", Err: ErrClosed}
+	default:
+	}
 	select {
 	case dst.inbox <- m:
 		e.fabric.met.sent(m.Dst, len(m.Payload))
 		return nil
 	case <-dst.done:
-		return ErrClosed
+		return &PeerError{Peer: m.Dst, Op: "send", Err: ErrClosed}
 	case <-e.done:
 		return ErrClosed
 	}
 }
 
-// Recv blocks for the next message.
+// Recv blocks for the next message. Buffered messages are always drained
+// first; after that, a dead peer anywhere in the fabric surfaces as a
+// *PeerError, exactly as on the TCP transport.
 func (e *inprocEndpoint) Recv(ctx context.Context) (Message, error) {
 	select {
 	case m := <-e.inbox:
@@ -124,16 +186,27 @@ func (e *inprocEndpoint) Recv(ctx context.Context) (Message, error) {
 		default:
 		}
 		return Message{}, ErrClosed
+	case <-e.peerFail:
+		select {
+		case m := <-e.inbox:
+			e.fabric.met.recv(m.Src, len(m.Payload))
+			return m, nil
+		default:
+		}
+		return Message{}, e.failure()
 	case <-ctx.Done():
 		return Message{}, ctx.Err()
 	}
 }
 
 func (e *inprocEndpoint) close() {
-	e.once.Do(func() { close(e.done) })
+	e.once.Do(func() {
+		close(e.done)
+		e.fabric.notifyPeerDown(e.id)
+	})
 }
 
-// Close closes this endpoint only.
+// Close closes this endpoint only; the fabric treats it as this node dying.
 func (e *inprocEndpoint) Close() error {
 	e.close()
 	return nil

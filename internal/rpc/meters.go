@@ -15,21 +15,25 @@ type meters struct {
 	sentMsgs, recvMsgs   *metrics.Counter
 	sentBytes, recvBytes *metrics.Counter
 	peerSent, peerRecv   []*metrics.Counter // indexed by peer node id
+	peerUp               []*metrics.Gauge   // 1 while the peer's connection is live
+	peerFailures         *metrics.Counter
 }
 
 func newMeters(transport string, nodes int) *meters {
 	reg := metrics.Default
 	lbl := `{transport="` + transport + `"}`
 	m := &meters{
-		sentMsgs:  reg.Counter("adr_rpc_sent_msgs_total" + lbl),
-		recvMsgs:  reg.Counter("adr_rpc_recv_msgs_total" + lbl),
-		sentBytes: reg.Counter("adr_rpc_sent_bytes_total" + lbl),
-		recvBytes: reg.Counter("adr_rpc_recv_bytes_total" + lbl),
+		sentMsgs:     reg.Counter("adr_rpc_sent_msgs_total" + lbl),
+		recvMsgs:     reg.Counter("adr_rpc_recv_msgs_total" + lbl),
+		sentBytes:    reg.Counter("adr_rpc_sent_bytes_total" + lbl),
+		recvBytes:    reg.Counter("adr_rpc_recv_bytes_total" + lbl),
+		peerFailures: reg.Counter("adr_rpc_peer_failures_total" + lbl),
 	}
 	for p := 0; p < nodes; p++ {
 		plbl := `{transport="` + transport + `",peer="` + strconv.Itoa(p) + `"}`
 		m.peerSent = append(m.peerSent, reg.Counter("adr_rpc_peer_sent_bytes_total"+plbl))
 		m.peerRecv = append(m.peerRecv, reg.Counter("adr_rpc_peer_recv_bytes_total"+plbl))
+		m.peerUp = append(m.peerUp, reg.Gauge("adr_rpc_peer_up"+plbl))
 	}
 	return m
 }
@@ -44,4 +48,13 @@ func (m *meters) recv(peer NodeID, payloadBytes int) {
 	m.recvMsgs.Inc()
 	m.recvBytes.Add(int64(payloadBytes))
 	m.peerRecv[peer].Add(int64(payloadBytes))
+}
+
+// up marks a peer's connection live.
+func (m *meters) up(peer NodeID) { m.peerUp[peer].Set(1) }
+
+// down marks a peer's connection dead and counts the failure.
+func (m *meters) down(peer NodeID) {
+	m.peerUp[peer].Set(0)
+	m.peerFailures.Inc()
 }

@@ -60,6 +60,40 @@ type Message struct {
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("rpc: endpoint closed")
 
+// PeerError reports failed communication with one specific peer: a broken or
+// timed-out connection, a malformed frame, or an exhausted dial. It is the
+// typed root of every failure caused by a dead or misbehaving peer; callers
+// unwrap it with errors.As to learn which node failed. Once a transport
+// reports a PeerError for a peer, that peer is dead for the life of the
+// fabric — the mesh is static and there is no reconnect.
+type PeerError struct {
+	// Peer is the node whose connection failed.
+	Peer NodeID
+	// Op names the failing operation: "dial", "read", "write", "send" or
+	// "frame" (a malformed header from the peer).
+	Op string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error formats the failure.
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("rpc: peer %d %s: %v", e.Peer, e.Op, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// peerErr wraps cause in a PeerError unless it already carries one (so the
+// failure chain names the peer exactly once).
+func peerErr(peer NodeID, op string, cause error) error {
+	var pe *PeerError
+	if errors.As(cause, &pe) {
+		return pe
+	}
+	return &PeerError{Peer: peer, Op: op, Err: cause}
+}
+
 // Endpoint is one node's connection to the communication fabric.
 type Endpoint interface {
 	// Self returns this endpoint's node id.

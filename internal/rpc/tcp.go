@@ -25,6 +25,17 @@ import (
 //	tile    int32
 //	seq     int32
 //	payload [length-21]byte
+//
+// Failure model: the mesh is static, so a failed peer connection is
+// permanent. When a read, write, frame decode or send timeout fails, the
+// whole connection is closed (never just one half), the peer is marked dead
+// with the reason recorded, and every pending and future Send to it fails
+// fast with a *PeerError. Because every query spans every node, the first
+// peer failure also fails the endpoint's Recv once buffered inbound
+// messages are drained — that is how nodes that are purely waiting on the
+// dead peer learn of the failure. Liveness is exported through the metrics
+// registry as adr_rpc_peer_up{transport="tcp",peer="N"} and
+// adr_rpc_peer_failures_total.
 const tcpHeaderLen = 21
 
 // MaxFrameBytes bounds a single message payload (64 MiB): far above any
@@ -32,16 +43,30 @@ const tcpHeaderLen = 21
 // from a confused peer.
 const MaxFrameBytes = 64 << 20
 
+// DefaultSendTimeout bounds how long a Send may wait for a peer to drain
+// its connection before the peer is declared dead. Generous: a healthy peer
+// drains a frame in microseconds; only a wedged or partitioned one takes
+// 30 s.
+const DefaultSendTimeout = 30 * time.Second
+
 // TCPNode is a single node's endpoint over the TCP mesh.
 type TCPNode struct {
 	self  NodeID
 	addrs []string
 	ln    net.Listener
 
-	inbox chan Message
-	done  chan struct{}
-	once  sync.Once
-	met   *meters
+	inbox       chan Message
+	done        chan struct{}
+	once        sync.Once
+	met         *meters
+	sendTimeout time.Duration
+
+	// First peer failure fails the whole endpoint (see package comment):
+	// failCh is closed with failErr holding the PeerError.
+	failCh   chan struct{}
+	failOnce sync.Once
+	failMu   sync.Mutex
+	failErr  error
 
 	mu    sync.Mutex
 	conns map[NodeID]*tcpConn
@@ -49,20 +74,62 @@ type TCPNode struct {
 }
 
 type tcpConn struct {
+	peer   NodeID
 	c      net.Conn
 	outbox chan Message
+
+	// dead is closed on the first failure; reason records why.
+	dead   chan struct{}
+	once   sync.Once
+	mu     sync.Mutex
+	reason error
 }
 
-// TCPOptions tunes fabric establishment.
+// fail marks the connection dead with a reason and closes the underlying
+// socket — both halves, so a failure detected on one side of the duplex
+// never leaves the other half silently accepting traffic. Reports whether
+// this call was the first to fail the connection.
+func (c *tcpConn) fail(err error) bool {
+	first := false
+	c.once.Do(func() {
+		first = true
+		c.mu.Lock()
+		c.reason = err
+		c.mu.Unlock()
+		close(c.dead)
+		c.c.Close()
+	})
+	return first
+}
+
+// failure returns why the connection died.
+func (c *tcpConn) failure() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reason != nil {
+		return c.reason
+	}
+	return ErrClosed
+}
+
+// TCPOptions tunes fabric establishment and failure detection.
 type TCPOptions struct {
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
 	// DialRetry is how long to keep retrying dials while the mesh comes up
-	// (default 30s). Peers start in arbitrary order.
+	// (default 30s). Peers start in arbitrary order; attempts back off
+	// exponentially from 50ms to 1s between retries.
 	DialRetry time.Duration
 	// InboxDepth bounds buffered inbound messages (default
 	// DefaultInboxDepth).
 	InboxDepth int
+	// SendTimeout bounds how long a Send may block on a peer that is not
+	// draining its connection, and how long a single frame write may take on
+	// the wire. On expiry the peer is marked dead and the Send fails with a
+	// *PeerError. 0 selects DefaultSendTimeout; negative disables the
+	// timeout entirely (sends may block indefinitely, the pre-fault-model
+	// behaviour).
+	SendTimeout time.Duration
 }
 
 func (o *TCPOptions) defaults() {
@@ -74,6 +141,9 @@ func (o *TCPOptions) defaults() {
 	}
 	if o.InboxDepth <= 0 {
 		o.InboxDepth = DefaultInboxDepth
+	}
+	if o.SendTimeout == 0 {
+		o.SendTimeout = DefaultSendTimeout
 	}
 }
 
@@ -101,14 +171,19 @@ func NewTCPNodeWithListener(self NodeID, addrs []string, ln net.Listener, opts T
 		return nil, fmt.Errorf("rpc: node %d not in address list of %d", self, len(addrs))
 	}
 	n := &TCPNode{
-		self:  self,
-		addrs: addrs,
-		ln:    ln,
-		inbox: make(chan Message, opts.InboxDepth),
-		done:  make(chan struct{}),
-		conns: make(map[NodeID]*tcpConn),
-		met:   newMeters("tcp", len(addrs)),
+		self:        self,
+		addrs:       addrs,
+		ln:          ln,
+		inbox:       make(chan Message, opts.InboxDepth),
+		done:        make(chan struct{}),
+		failCh:      make(chan struct{}),
+		conns:       make(map[NodeID]*tcpConn),
+		met:         newMeters("tcp", len(addrs)),
+		sendTimeout: opts.SendTimeout,
 	}
+	// A node is trivially up to itself; without this the self slot of
+	// adr_rpc_peer_up reads as dead on every node's own export.
+	n.met.up(self)
 
 	var wg sync.WaitGroup
 	errs := make(chan error, len(addrs))
@@ -140,19 +215,21 @@ func NewTCPNodeWithListener(self NodeID, addrs []string, ln net.Listener, opts T
 		}
 	}()
 
-	// Dial higher-numbered peers.
+	// Dial higher-numbered peers, backing off between attempts while the
+	// mesh comes up.
 	for peer := int(self) + 1; peer < len(addrs); peer++ {
 		wg.Add(1)
 		go func(peer int) {
 			defer wg.Done()
 			deadline := time.Now().Add(opts.DialRetry)
+			backoff := 50 * time.Millisecond
 			for {
 				c, err := net.DialTimeout("tcp", addrs[peer], opts.DialTimeout)
 				if err == nil {
 					var hdr [4]byte
 					binary.LittleEndian.PutUint32(hdr[:], uint32(self))
 					if _, err := c.Write(hdr[:]); err != nil {
-						errs <- fmt.Errorf("rpc: handshake write to %d: %w", peer, err)
+						errs <- peerErr(NodeID(peer), "dial", fmt.Errorf("handshake write: %w", err))
 						c.Close()
 						return
 					}
@@ -160,10 +237,14 @@ func NewTCPNodeWithListener(self NodeID, addrs []string, ln net.Listener, opts T
 					return
 				}
 				if time.Now().After(deadline) {
-					errs <- fmt.Errorf("rpc: dial node %d at %s: %w", peer, addrs[peer], err)
+					errs <- peerErr(NodeID(peer), "dial",
+						fmt.Errorf("node %d at %s unreachable after %v: %w", peer, addrs[peer], opts.DialRetry, err))
 					return
 				}
-				time.Sleep(100 * time.Millisecond)
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
 			}
 		}(peer)
 	}
@@ -185,14 +266,44 @@ func (n *TCPNode) addConn(peer NodeID, c net.Conn) {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	conn := &tcpConn{c: c, outbox: make(chan Message, 64)}
+	conn := &tcpConn{peer: peer, c: c, outbox: make(chan Message, 64), dead: make(chan struct{})}
 	n.mu.Lock()
 	n.conns[peer] = conn
 	n.mu.Unlock()
+	n.met.up(peer)
 
 	n.wg.Add(2)
 	go n.writeLoop(conn)
 	go n.readLoop(conn)
+}
+
+// failConn records a connection failure: the peer is marked dead (with
+// metrics) and the endpoint enters the failed state so blocked receivers
+// learn of it. During Close the error is the shutdown, not a peer failure,
+// and is not counted.
+func (n *TCPNode) failConn(conn *tcpConn, err error) {
+	select {
+	case <-n.done:
+		conn.fail(ErrClosed)
+		return
+	default:
+	}
+	if conn.fail(err) {
+		n.met.down(conn.peer)
+	}
+	n.failOnce.Do(func() {
+		n.failMu.Lock()
+		n.failErr = err
+		n.failMu.Unlock()
+		close(n.failCh)
+	})
+}
+
+// failure returns the first peer failure observed, or nil.
+func (n *TCPNode) failure() error {
+	n.failMu.Lock()
+	defer n.failMu.Unlock()
+	return n.failErr
 }
 
 func (n *TCPNode) writeLoop(conn *tcpConn) {
@@ -208,14 +319,24 @@ func (n *TCPNode) writeLoop(conn *tcpConn) {
 			binary.LittleEndian.PutUint32(hdr[13:], uint32(m.Query))
 			binary.LittleEndian.PutUint32(hdr[17:], uint32(m.Tile))
 			binary.LittleEndian.PutUint32(hdr[21:], uint32(m.Seq))
+			if n.sendTimeout > 0 {
+				// A frame that cannot reach the peer within the send timeout
+				// means the peer stopped draining; treat it as dead rather
+				// than blocking the whole outbox behind it.
+				conn.c.SetWriteDeadline(time.Now().Add(n.sendTimeout))
+			}
 			if _, err := conn.c.Write(hdr[:]); err != nil {
+				n.failConn(conn, peerErr(conn.peer, "write", err))
 				return
 			}
 			if len(m.Payload) > 0 {
 				if _, err := conn.c.Write(m.Payload); err != nil {
+					n.failConn(conn, peerErr(conn.peer, "write", err))
 					return
 				}
 			}
+		case <-conn.dead:
+			return
 		case <-n.done:
 			return
 		}
@@ -227,10 +348,13 @@ func (n *TCPNode) readLoop(conn *tcpConn) {
 	var hdr [4 + tcpHeaderLen]byte
 	for {
 		if _, err := io.ReadFull(conn.c, hdr[:]); err != nil {
+			n.failConn(conn, peerErr(conn.peer, "read", err))
 			return
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:])
 		if length < tcpHeaderLen || length > MaxFrameBytes {
+			n.failConn(conn, peerErr(conn.peer, "frame",
+				fmt.Errorf("malformed frame length %d (valid: %d..%d)", length, tcpHeaderLen, MaxFrameBytes)))
 			return
 		}
 		m := Message{
@@ -244,6 +368,7 @@ func (n *TCPNode) readLoop(conn *tcpConn) {
 		if payloadLen := int(length) - tcpHeaderLen; payloadLen > 0 {
 			m.Payload = make([]byte, payloadLen)
 			if _, err := io.ReadFull(conn.c, m.Payload); err != nil {
+				n.failConn(conn, peerErr(conn.peer, "read", err))
 				return
 			}
 		}
@@ -262,7 +387,9 @@ func (n *TCPNode) Self() NodeID { return n.self }
 // Nodes returns the mesh size.
 func (n *TCPNode) Nodes() int { return len(n.addrs) }
 
-// Send routes m; self-sends loop back through the inbox.
+// Send routes m; self-sends loop back through the inbox. Sends to a dead
+// peer fail fast with a *PeerError; sends to a peer that stops draining
+// fail after the configured send timeout (and mark the peer dead).
 func (n *TCPNode) Send(m Message) error {
 	if err := Validate(m, n.Nodes()); err != nil {
 		return err
@@ -286,18 +413,53 @@ func (n *TCPNode) Send(m Message) error {
 	conn, ok := n.conns[m.Dst]
 	n.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("rpc: no connection to node %d", m.Dst)
+		return &PeerError{Peer: m.Dst, Op: "send", Err: fmt.Errorf("no connection")}
+	}
+	// Fast paths: dead peer fails immediately, room in the outbox succeeds
+	// immediately (no timer allocation).
+	select {
+	case <-conn.dead:
+		return peerErr(m.Dst, "send", conn.failure())
+	default:
 	}
 	select {
 	case conn.outbox <- m:
 		n.met.sent(m.Dst, len(m.Payload))
 		return nil
+	default:
+	}
+	if n.sendTimeout <= 0 {
+		select {
+		case conn.outbox <- m:
+			n.met.sent(m.Dst, len(m.Payload))
+			return nil
+		case <-conn.dead:
+			return peerErr(m.Dst, "send", conn.failure())
+		case <-n.done:
+			return ErrClosed
+		}
+	}
+	timer := time.NewTimer(n.sendTimeout)
+	defer timer.Stop()
+	select {
+	case conn.outbox <- m:
+		n.met.sent(m.Dst, len(m.Payload))
+		return nil
+	case <-conn.dead:
+		return peerErr(m.Dst, "send", conn.failure())
 	case <-n.done:
 		return ErrClosed
+	case <-timer.C:
+		err := &PeerError{Peer: m.Dst, Op: "send",
+			Err: fmt.Errorf("timed out after %v: peer not draining", n.sendTimeout)}
+		n.failConn(conn, err)
+		return err
 	}
 }
 
-// Recv blocks for the next inbound message.
+// Recv blocks for the next inbound message. Messages already buffered are
+// always drained first; after that, a failed endpoint (any dead peer)
+// reports the first peer failure as a *PeerError.
 func (n *TCPNode) Recv(ctx context.Context) (Message, error) {
 	select {
 	case m := <-n.inbox:
@@ -314,12 +476,20 @@ func (n *TCPNode) Recv(ctx context.Context) (Message, error) {
 		default:
 		}
 		return Message{}, ErrClosed
+	case <-n.failCh:
+		// Drain what arrived before the failure so no message is lost.
+		select {
+		case m := <-n.inbox:
+			return m, nil
+		default:
+		}
+		return Message{}, n.failure()
 	case <-ctx.Done():
 		return Message{}, ctx.Err()
 	}
 }
 
-// Close tears down the node: listener, connections, loops.
+// Close tears the node down: listener, connections, loops.
 func (n *TCPNode) Close() error {
 	n.once.Do(func() {
 		close(n.done)
