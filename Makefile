@@ -17,14 +17,21 @@ vet:
 	$(GO) vet ./...
 
 # Failure-path tests: peer death, send timeouts, abort broadcast, dispatcher
-# late messages — race-checked, bounded so a reintroduced hang fails fast.
+# late messages, the store fd-lifetime race, cache coherence under
+# concurrency, and admission-control recovery — race-checked, bounded so a
+# reintroduced hang fails fast.
 test-failure:
-	$(GO) test -race -timeout 120s -run 'Fail|Fault|Abort|Death|Late|Timeout|Malformed' ./internal/rpc/... ./internal/engine/... ./internal/backend/...
+	$(GO) test -race -timeout 120s -run 'Fail|Fault|Abort|Death|Late|Timeout|Malformed|Race|Admission|Compact|CacheConcurrent|Inflight' ./internal/rpc/... ./internal/engine/... ./internal/backend/... ./internal/layout/...
 
 check: build vet test
 
-bench:
+bench: bench-cache
 	$(GO) run ./cmd/adr-bench -quick
+
+# Cache benchmark: cold vs warm disk reads for a repeated range-query sweep,
+# summarized into BENCH_3.json.
+bench-cache:
+	BENCH_JSON=BENCH_3.json $(GO) test -run '^$$' -bench RepeatedRangeQuery -benchtime 1x .
 
 clean:
 	rm -rf bin

@@ -13,9 +13,12 @@ package adr_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
+	"time"
 
 	"adr"
 
@@ -23,6 +26,7 @@ import (
 	"adr/internal/emulator"
 	"adr/internal/experiments"
 	"adr/internal/index"
+	"adr/internal/metrics"
 	"adr/internal/plan"
 	"adr/internal/simadr"
 	"adr/internal/space"
@@ -452,4 +456,128 @@ func adrNewBenchRepo() (*adr.Repository, error) {
 		return nil, err
 	}
 	return repo, nil
+}
+
+// BenchmarkRepeatedRangeQuery measures the chunk cache on the workload it
+// exists for: a sliding window of overlapping range queries over a
+// file-backed farm. The first (cold) sweep pulls every chunk it touches off
+// disk; the warm sweeps are served from the node caches. Reported metrics:
+// disk reads per cold and per warm sweep. With BENCH_JSON set, a JSON
+// summary (cold vs warm disk reads and wall time) is written to that path.
+func BenchmarkRepeatedRangeQuery(b *testing.B) {
+	dir := b.TempDir()
+	region := adr.R(0, 256, 0, 256)
+
+	// Load through an uncached repository so the cold sweep genuinely
+	// starts cold (write-through loading would leave the chunks resident).
+	loader, err := adr.NewRepository(adr.Options{Nodes: 4, StoreDir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	items := make([]adr.Item, 65536)
+	for i := range items {
+		items[i] = adr.Item{
+			Coord: adr.Pt(rng.Float64()*256, rng.Float64()*256),
+			Value: adr.EncodeValue(int64(i)),
+		}
+	}
+	grid, err := adr.NewGrid(region, 16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunks, err := adr.PartitionGrid(items, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsIn, err := loader.LoadDataset("pts", adr.AttrSpace{Name: "in", Bounds: region}, chunks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	outGrid, err := adr.NewGrid(region, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsOut, err := loader.LoadDataset("img", adr.AttrSpace{Name: "out", Bounds: region}, adr.GridChunks(outGrid))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := loader.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	repo, err := adr.NewRepository(adr.Options{
+		Nodes: 4, StoreDir: dir, CacheBytes: 256 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	if err := repo.RegisterDataset(dsIn); err != nil {
+		b.Fatal(err)
+	}
+	if err := repo.RegisterDataset(dsOut); err != nil {
+		b.Fatal(err)
+	}
+
+	// Eight overlapping 96x96 windows sliding across the space: adjacent
+	// windows share chunks, and a repeated sweep re-reads everything.
+	var windows []adr.Rect
+	for i := 0; i < 8; i++ {
+		lo := float64(i) * 20
+		windows = append(windows, adr.R(lo, lo+96, lo, lo+96))
+	}
+	diskReads := metrics.Default.Counter("adr_disk_reads_total")
+	sweep := func() {
+		for _, w := range windows {
+			res, err := repo.Execute(context.Background(), &adr.Query{
+				Input: "pts", Output: "img", InputBox: w, Strategy: adr.FRA,
+				App: &adr.RasterApp{Op: adr.Sum, CellsPerDim: 4},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Chunks) == 0 {
+				b.Fatal("no results")
+			}
+		}
+	}
+
+	coldStart := time.Now()
+	before := diskReads.Value()
+	sweep()
+	coldReads := diskReads.Value() - before
+	coldWall := time.Since(coldStart)
+
+	b.ResetTimer()
+	warmStart := time.Now()
+	before = diskReads.Value()
+	for i := 0; i < b.N; i++ {
+		sweep()
+	}
+	warmWall := time.Since(warmStart)
+	warmReads := (diskReads.Value() - before) / int64(b.N)
+	b.ReportMetric(float64(coldReads), "cold-reads")
+	b.ReportMetric(float64(warmReads), "warm-reads/op")
+
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		out := map[string]any{
+			"benchmark":       "RepeatedRangeQuery",
+			"cold_disk_reads": coldReads,
+			"warm_disk_reads": warmReads,
+			"cold_wall_ns":    coldWall.Nanoseconds(),
+			"warm_wall_ns":    warmWall.Nanoseconds() / int64(b.N),
+			"warm_sweeps":     b.N,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if warmReads*2 > coldReads {
+		b.Fatalf("cache ineffective: %d warm disk reads vs %d cold", warmReads, coldReads)
+	}
 }

@@ -36,6 +36,8 @@ func main() {
 	sendTimeout := flag.Duration("send-timeout", 0, "mesh send timeout per peer; 0 uses the 30s default, negative disables")
 	dialRetry := flag.Duration("dial-retry", 0, "how long mesh establishment retries unreachable peers (default 30s)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline on this node; 0 disables")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "chunk cache budget in bytes (0 disables caching)")
+	maxQueries := flag.Int("max-queries", 64, "max concurrently executing queries; excess queue (0 = unbounded)")
 	flag.Parse()
 
 	if *id < 0 || *mesh == "" || *control == "" || *dataDir == "" {
@@ -60,12 +62,17 @@ func main() {
 		SendTimeout:  *sendTimeout,
 		DialRetry:    *dialRetry,
 		QueryTimeout: *queryTimeout,
+		CacheBytes:   *cacheBytes,
+		MaxQueries:   *maxQueries,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adr-node:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("adr-node %d: mesh up (%d nodes), control on %s\n", *id, len(addrs), srv.ControlAddr())
+	if *cacheBytes > 0 {
+		fmt.Printf("adr-node %d: chunk cache %d MiB, max %d concurrent queries\n", *id, *cacheBytes>>20, *maxQueries)
+	}
 
 	if *metricsAddr != "" {
 		ms, err := metrics.Serve(*metricsAddr, metrics.Default, srv.Queries())

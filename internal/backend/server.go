@@ -51,7 +51,37 @@ type Config struct {
 	// on expiry the node aborts the query mesh-wide and reports a deadline
 	// error to the front-end.
 	QueryTimeout time.Duration
+	// CacheBytes, when > 0, puts a memory-bounded chunk cache between the
+	// engine and this node's disks (layout.ChunkCache): repeated range
+	// queries over a hot region read each chunk from disk once. 0 disables.
+	CacheBytes int64
+	// MaxQueries, when > 0, bounds the queries executing concurrently on
+	// this node; excess control connections queue (visible as the
+	// adr_node_admission_waiting gauge) instead of spawning unbounded query
+	// goroutines. 0 disables admission control. Enabling admission also
+	// enforces an execution deadline (QueryTimeout, or
+	// DefaultRequestTimeout when unset) so that admission skew across
+	// overloaded nodes — each node running a query its peers never admitted
+	// — cannot pin admission slots forever.
+	MaxQueries int
+	// RequestTimeout bounds reading the request header off a new control
+	// connection, so a stalled client cannot pin a handler goroutine. 0
+	// selects DefaultRequestTimeout; negative disables the deadline.
+	RequestTimeout time.Duration
 }
+
+// DefaultRequestTimeout is how long a fresh control connection may take to
+// deliver its NodeRequest header before the node gives up on it.
+const DefaultRequestTimeout = 30 * time.Second
+
+// Admission-control instrumentation: how many queries are executing, how
+// many are queued behind the -max-queries bound, and how many were admitted
+// in total.
+var (
+	admActive   = metrics.Default.Gauge("adr_node_admission_active")
+	admWaiting  = metrics.Default.Gauge("adr_node_admission_waiting")
+	admAdmitted = metrics.Default.Counter("adr_node_admission_admitted_total")
+)
 
 // Server is a running node daemon. Concurrent queries share the mesh
 // through an engine.Dispatcher, which demultiplexes traffic by the
@@ -61,10 +91,16 @@ type Server struct {
 	mesh     *rpc.TCPNode
 	dispatch *engine.Dispatcher
 	farm     *layout.Farm
+	cache    *layout.ChunkCache
 	datasets map[string]*layout.Dataset
 	machine  plan.Machine
 	ctrl     net.Listener
 	queries  *metrics.QueryLog
+	// admit is the admission semaphore (nil when MaxQueries <= 0): a slot
+	// must be acquired before a query runs. done unblocks queued handlers
+	// on shutdown.
+	admit chan struct{}
+	done  chan struct{}
 
 	closed  bool
 	closeMu sync.Mutex
@@ -101,14 +137,24 @@ func Start(cfg Config) (*Server, error) {
 		farm.Close()
 		return nil, err
 	}
+	var cache *layout.ChunkCache
+	if cfg.CacheBytes > 0 {
+		cache = layout.NewChunkCache(cfg.CacheBytes)
+		farm.WithCache(cache)
+	}
 	s := &Server{
 		cfg:      cfg,
 		mesh:     mesh,
 		dispatch: engine.NewDispatcher(mesh),
 		farm:     farm,
+		cache:    cache,
 		machine:  plan.Machine{Procs: m.Nodes, AccMemBytes: cfg.AccMemBytes},
 		ctrl:     ctrl,
 		queries:  metrics.NewQueryLog(metrics.Default, "adr_node"),
+		done:     make(chan struct{}),
+	}
+	if cfg.MaxQueries > 0 {
+		s.admit = make(chan struct{}, cfg.MaxQueries)
 	}
 	s.datasets = make(map[string]*layout.Dataset, len(datasets))
 	for _, ds := range datasets {
@@ -124,6 +170,9 @@ func (s *Server) ControlAddr() string { return s.ctrl.Addr().String() }
 // Queries returns this node's query log, for the /debug/queries surface.
 func (s *Server) Queries() *metrics.QueryLog { return s.queries }
 
+// Cache returns the node's chunk cache (nil when CacheBytes was 0).
+func (s *Server) Cache() *layout.ChunkCache { return s.cache }
+
 // DispatchStats returns the mesh traffic of the queries currently
 // multiplexed on this node.
 func (s *Server) DispatchStats() []engine.DispatchStats { return s.dispatch.ActiveStats() }
@@ -137,6 +186,7 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	s.closeMu.Unlock()
+	close(s.done)
 	s.ctrl.Close()
 	s.dispatch.Close()
 	return s.farm.Close()
@@ -154,15 +204,40 @@ func (s *Server) acceptLoop() {
 
 // handle serves one control connection: one query request, a stream of this
 // node's output chunks, then a done frame. Queries on different connections
-// run concurrently; the dispatcher keeps their mesh traffic apart.
+// run concurrently up to the admission bound; the dispatcher keeps their
+// mesh traffic apart.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+
+	// A client that never delivers its request header must not pin this
+	// goroutine (or, with admission control, an admission slot) forever.
+	reqTimeout := s.cfg.RequestTimeout
+	if reqTimeout == 0 {
+		reqTimeout = DefaultRequestTimeout
+	}
+	if reqTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(reqTimeout))
+	}
 	var req frontend.NodeRequest
 	if err := frontend.ReadJSON(r, &req); err != nil {
+		// A malformed or missing request used to drop the connection
+		// silently; tell the client what happened instead. Writing may fail
+		// if the peer is already gone — that is fine.
+		frontend.WriteJSON(w, &frontend.Message{
+			Type:  "error",
+			Error: fmt.Sprintf("backend: bad request: %v", err),
+			ErrInfo: &frontend.ErrorInfo{
+				Node: int(s.cfg.Node), Origin: -1,
+				Message: fmt.Sprintf("bad request: %v", err),
+			},
+		})
+		w.Flush()
 		return
 	}
+	conn.SetReadDeadline(time.Time{})
+
 	sendErr := func(err error) {
 		// Locate the failure for the client: this node reports it, and when
 		// the error chain identifies the node that caused it (a dead mesh
@@ -177,6 +252,41 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		frontend.WriteJSON(w, &frontend.Message{Type: "error", Error: err.Error(), ErrInfo: info})
 		w.Flush()
+	}
+
+	// Admission control: bounded concurrent queries; excess connections
+	// queue (the adr_node_admission_waiting gauge is the queue depth). The
+	// wait is bounded: a query spans every mesh node, so if overloaded
+	// nodes admitted queries in different orders they could wait on each
+	// other's participation forever — a timed-out admission turns that into
+	// a typed "busy" error the client can retry instead.
+	if s.admit != nil {
+		wait := s.cfg.QueryTimeout
+		if wait <= 0 {
+			wait = DefaultRequestTimeout
+		}
+		timer := time.NewTimer(wait)
+		admWaiting.Inc()
+		select {
+		case s.admit <- struct{}{}:
+			admWaiting.Dec()
+			timer.Stop()
+		case <-timer.C:
+			admWaiting.Dec()
+			sendErr(fmt.Errorf("backend: node %d busy: %d queries running, admission queue timed out after %v", s.cfg.Node, s.cfg.MaxQueries, wait))
+			return
+		case <-s.done:
+			admWaiting.Dec()
+			timer.Stop()
+			sendErr(fmt.Errorf("backend: node %d shutting down", s.cfg.Node))
+			return
+		}
+		admAdmitted.Inc()
+		admActive.Inc()
+		defer func() {
+			admActive.Dec()
+			<-s.admit
+		}()
 	}
 
 	start := time.Now()
@@ -267,9 +377,19 @@ func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace met
 	ep := s.dispatch.Endpoint(req.QueryID)
 	defer s.dispatch.Release(req.QueryID)
 	ctx := context.Background()
-	if s.cfg.QueryTimeout > 0 {
+	timeout := s.cfg.QueryTimeout
+	if timeout <= 0 && s.admit != nil {
+		// Admission control requires bounded execution: an admitted query
+		// holds a slot while its engine waits on every mesh peer's
+		// participation, and a peer that admitted a *different* query first
+		// may never get to this one (admission skew). Without a deadline the
+		// two nodes pin their slots forever; with one, both queries abort,
+		// the slots free, and the clients retry against a live mesh.
+		timeout = DefaultRequestTimeout
+	}
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.QueryTimeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	trace, err = engine.RunNodeTraced(ctx, cfg, ep, st)

@@ -34,6 +34,11 @@ type Options struct {
 	// custom declustering algorithm drive layout.Loader directly and
 	// RegisterDataset the result.
 	StoreDir string
+	// CacheBytes, when > 0, layers a shared memory-bounded chunk cache
+	// (layout.ChunkCache) over the farm's disks, so repeated queries over a
+	// hot region read each chunk from disk once. Most useful with StoreDir;
+	// legal (if pointless) over in-memory disks.
+	CacheBytes int64
 }
 
 // DefaultAccMemBytes is the per-processor accumulator memory used when the
@@ -75,6 +80,9 @@ func NewRepository(opts Options) (*Repository, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if opts.CacheBytes > 0 {
+		farm.WithCache(layout.NewChunkCache(opts.CacheBytes))
 	}
 	return &Repository{
 		registry: space.NewRegistry(),

@@ -24,18 +24,39 @@ type ChunkStorage interface {
 	HasChunk(dataset string, m chunk.Meta) bool
 }
 
-// FarmStorage adapts a layout.Farm to ChunkStorage.
+// CachedReader is the optional extension of ChunkStorage for storages whose
+// reads may be served by a chunk cache: hit reports that the caller was
+// served without issuing a disk read itself, which the engine attributes to
+// the query's NodeTrace.
+type CachedReader interface {
+	ReadChunkCached(dataset string, m chunk.Meta) (data []byte, hit bool, err error)
+}
+
+// FarmStorage adapts a layout.Farm to ChunkStorage. When the farm's stores
+// are cache-wrapped (layout.Farm.WithCache), FarmStorage also satisfies
+// CachedReader and reports per-read hits.
 type FarmStorage struct {
 	Farm *layout.Farm
 }
 
 // ReadChunk reads from the chunk's disk store.
 func (f FarmStorage) ReadChunk(dataset string, m chunk.Meta) ([]byte, error) {
+	data, _, err := f.ReadChunkCached(dataset, m)
+	return data, err
+}
+
+// ReadChunkCached reads from the chunk's disk store, reporting whether the
+// read was a cache hit (always false for uncached stores).
+func (f FarmStorage) ReadChunkCached(dataset string, m chunk.Meta) (data []byte, hit bool, err error) {
 	st, err := f.Farm.Store(int(m.Disk))
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return st.Get(dataset, m.ID)
+	if cs, ok := st.(*layout.CachedStore); ok {
+		return cs.GetCached(dataset, m.ID)
+	}
+	data, err = st.Get(dataset, m.ID)
+	return data, false, err
 }
 
 // WriteChunk writes to the chunk's disk store.

@@ -225,11 +225,14 @@ func (n *node) phaseInit(ctx context.Context, t int32) (map[int32]Accumulator, e
 			}
 			var payload []byte
 			if n.st.HasChunk(n.cfg.OutputDataset, w.Outputs[o]) {
-				data, err := n.st.ReadChunk(n.cfg.OutputDataset, w.Outputs[o])
+				data, hit, err := n.readChunk(n.cfg.OutputDataset, w.Outputs[o])
 				if err != nil {
 					return nil, fmt.Errorf("read existing output %d: %w", o, err)
 				}
 				n.met.AddRead(metrics.Initialization, int64(len(data)))
+				if hit {
+					n.met.CacheHits.Add(1)
+				}
 				payload = data
 				c, err := chunk.Decode(data)
 				if err != nil {
@@ -304,10 +307,21 @@ func (n *node) replicaHolders(t, o int32) []rpc.NodeID {
 	return holders
 }
 
+// readChunk reads a local chunk through the storage, reporting cache hits
+// when the storage can (CachedReader).
+func (n *node) readChunk(dataset string, m chunk.Meta) (data []byte, hit bool, err error) {
+	if cr, ok := n.st.(CachedReader); ok {
+		return cr.ReadChunkCached(dataset, m)
+	}
+	data, err = n.st.ReadChunk(dataset, m)
+	return data, false, err
+}
+
 // readResult is one prefetched local chunk.
 type readResult struct {
 	input int32
 	data  []byte
+	hit   bool
 	err   error
 }
 
@@ -347,9 +361,9 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 		go func(queue []int32) {
 			defer readers.Done()
 			for _, i := range queue {
-				data, err := n.st.ReadChunk(n.cfg.InputDataset, w.Inputs[i])
+				data, hit, err := n.readChunk(n.cfg.InputDataset, w.Inputs[i])
 				select {
-				case readCh <- readResult{input: i, data: data, err: err}:
+				case readCh <- readResult{input: i, data: data, hit: hit, err: err}:
 				case <-rctx.Done():
 					return
 				}
@@ -388,6 +402,9 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 			return fmt.Errorf("read input %d: %w", r.input, r.err)
 		}
 		n.met.AddRead(metrics.LocalReduction, int64(len(r.data)))
+		if r.hit {
+			n.met.CacheHits.Add(1)
+		}
 		// Forward before aggregating so remote homes can overlap their own
 		// processing with ours (the chunk buffer is shared: storage data is
 		// immutable here, the zero-copy path §2.4 argues for).

@@ -3,6 +3,7 @@ package frontend
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -16,21 +17,59 @@ import (
 // concurrently — each stream carries exactly the chunks that node owns, so
 // a data-parallel consumer (another simulation, a renderer farm) receives
 // its partition without a central merge.
+//
+// Query-id discipline: the front-end owns the positive id half; parallel
+// clients draw from the negative half. Ids are allocated from a 64-bit
+// counter folded into the client's [lo, hi] range, so the id can never wrap
+// into the front-end's positive space no matter how many queries are
+// issued. Two parallel clients sharing one mesh MUST NOT share a range —
+// build them with NewParallelClientSlot to carve the negative space into
+// disjoint sub-ranges.
 type ParallelClient struct {
 	nodeAddrs []string
-	queryID   atomic.Int32
+	next      atomic.Int64
+	// lo <= hi <= -1: the id range this client cycles through, newest ids
+	// first (hi, hi-1, ..., lo, hi, ...).
+	lo, hi int32
 }
 
-// NewParallelClient builds a client for a back-end. The query-id space must
-// not collide with a front-end serving the same mesh concurrently; parallel
-// clients use the negative half.
+// NewParallelClient builds a client owning the whole negative id half. Use
+// NewParallelClientSlot when more than one parallel client shares the mesh.
 func NewParallelClient(nodeAddrs []string) (*ParallelClient, error) {
+	return newParallelClient(nodeAddrs, math.MinInt32, -1)
+}
+
+// NewParallelClientSlot builds a client owning slot slot (0-based) of the
+// negative id space divided into slots equal disjoint ranges, so several
+// parallel clients can share one mesh without id collisions. All clients of
+// a mesh must agree on slots.
+func NewParallelClientSlot(nodeAddrs []string, slot, slots int) (*ParallelClient, error) {
+	if slots < 1 || slot < 0 || slot >= slots {
+		return nil, fmt.Errorf("frontend: slot %d of %d out of range", slot, slots)
+	}
+	total := int64(1) << 31 // ids -1 down to -2^31
+	per := total / int64(slots)
+	hi := int64(-1) - int64(slot)*per
+	lo := hi - per + 1
+	return newParallelClient(nodeAddrs, int32(lo), int32(hi))
+}
+
+func newParallelClient(nodeAddrs []string, lo, hi int32) (*ParallelClient, error) {
 	if len(nodeAddrs) == 0 {
 		return nil, fmt.Errorf("frontend: parallel client needs back-end addresses")
 	}
-	c := &ParallelClient{nodeAddrs: nodeAddrs}
-	c.queryID.Store(-1)
-	return c, nil
+	return &ParallelClient{nodeAddrs: nodeAddrs, lo: lo, hi: hi}, nil
+}
+
+// nextID allocates the next query id: a 64-bit counter folded into the
+// client's range. The fold guards the wrap — after exhausting the range the
+// ids cycle within it instead of overflowing int32 into the front-end's
+// positive space (the old `atomic.Int32.Add(-1)` did exactly that after
+// 2^31 queries).
+func (c *ParallelClient) nextID() int32 {
+	n := c.next.Add(1) - 1
+	span := int64(c.hi) - int64(c.lo) + 1
+	return int32(int64(c.hi) - n%span)
 }
 
 // NodeStream is one back-end node's portion of a query result.
@@ -45,7 +84,7 @@ type NodeStream struct {
 // consumed concurrently. The caller sees the output partitioned by owning
 // node — the layout a parallel consumer wants.
 func (c *ParallelClient) Query(spec *QuerySpec) ([]NodeStream, error) {
-	qid := c.queryID.Add(-1)
+	qid := c.nextID()
 	streams := make([]NodeStream, len(c.nodeAddrs))
 	var wg sync.WaitGroup
 	for i, addr := range c.nodeAddrs {

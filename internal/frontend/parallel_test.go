@@ -1,0 +1,86 @@
+package frontend
+
+import (
+	"math"
+	"testing"
+)
+
+// TestParallelClientIDsStayNegative exercises the wrap guard: ids drawn
+// past the end of the client's range fold back into it instead of
+// overflowing into the front-end's positive id space.
+func TestParallelClientIDsStayNegative(t *testing.T) {
+	c, err := newParallelClient([]string{"x"}, -4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{-1, -2, -3, -4, -1, -2, -3, -4, -1}
+	for i, w := range want {
+		if got := c.nextID(); got != w {
+			t.Fatalf("id %d: got %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestParallelClientFullRangeWrap drives the default client's counter past
+// the range size and checks the id stays in the negative half — the old
+// int32 counter wrapped positive here.
+func TestParallelClientFullRangeWrap(t *testing.T) {
+	c, err := NewParallelClient([]string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := int64(c.hi) - int64(c.lo) + 1
+	c.next.Store(span - 1) // last id of the first cycle
+	if got := c.nextID(); got != c.lo {
+		t.Fatalf("end of cycle: got %d, want %d", got, c.lo)
+	}
+	// The next allocation — counter at exactly 2^31 with the old scheme —
+	// must fold back to hi, not flip sign.
+	if got := c.nextID(); got != -1 {
+		t.Fatalf("after wrap: got %d, want -1", got)
+	}
+	for i := 0; i < 1000; i++ {
+		if got := c.nextID(); got >= 0 {
+			t.Fatalf("allocation %d wrapped positive: %d", i, got)
+		}
+	}
+}
+
+// TestParallelClientSlotsDisjoint checks slot-carved clients can never
+// collide: ranges partition the negative space.
+func TestParallelClientSlotsDisjoint(t *testing.T) {
+	const slots = 3
+	type rng struct{ lo, hi int64 }
+	var ranges []rng
+	for s := 0; s < slots; s++ {
+		c, err := NewParallelClientSlot([]string{"x"}, s, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.lo > c.hi || c.hi > -1 {
+			t.Fatalf("slot %d: bad range [%d, %d]", s, c.lo, c.hi)
+		}
+		if int64(c.lo) < math.MinInt32 {
+			t.Fatalf("slot %d: lo %d below int32", s, c.lo)
+		}
+		ranges = append(ranges, rng{int64(c.lo), int64(c.hi)})
+		// Every allocated id stays inside the slot's range.
+		for i := 0; i < 100; i++ {
+			id := int64(c.nextID())
+			if id < int64(c.lo) || id > int64(c.hi) {
+				t.Fatalf("slot %d: id %d outside [%d, %d]", s, id, c.lo, c.hi)
+			}
+		}
+	}
+	for i := 0; i < slots; i++ {
+		for j := i + 1; j < slots; j++ {
+			if ranges[i].lo <= ranges[j].hi && ranges[j].lo <= ranges[i].hi {
+				t.Fatalf("slots %d and %d overlap: %+v %+v", i, j, ranges[i], ranges[j])
+			}
+		}
+	}
+
+	if _, err := NewParallelClientSlot([]string{"x"}, 3, 3); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+}

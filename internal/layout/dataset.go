@@ -74,6 +74,20 @@ func NewMemFarm(nodes, disksPerNode int) (*Farm, error) {
 	return NewFarm(nodes, disksPerNode, func(int) (Store, error) { return NewMemStore(), nil })
 }
 
+// WithCache wraps every disk store of the farm so reads are served through
+// the shared cache (one budget for the whole node, as the cache is keyed by
+// (dataset, chunk id) and ids are unique across a dataset's disks). A nil
+// cache leaves the farm untouched. Returns the farm for chaining.
+func (f *Farm) WithCache(c *ChunkCache) *Farm {
+	if c == nil {
+		return f
+	}
+	for i, s := range f.stores {
+		f.stores[i] = NewCachedStore(s, c)
+	}
+	return f
+}
+
 // NumDisks returns the total disk count.
 func (f *Farm) NumDisks() int { return f.Nodes * f.DisksPerNode }
 

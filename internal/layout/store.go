@@ -109,7 +109,13 @@ type FileStore struct {
 	files map[string]*segment
 }
 
+// segment is one dataset's append-only file. mu guards f's lifetime against
+// s.mu-free readers: Get acquires mu.RLock (while still holding s.mu, so
+// lock order is always s.mu → seg.mu) and keeps it across ReadAt, while
+// Compact and Close take mu.Lock before closing f. Without it a reader
+// could hit a closed fd mid-flight when Compact swaps the file under s.mu.
 type segment struct {
+	mu    sync.RWMutex
 	f     *os.File
 	index map[chunk.ID]segmentLoc
 	size  int64
@@ -210,10 +216,15 @@ func (s *FileStore) Get(dataset string, id chunk.ID) ([]byte, error) {
 		return nil, err
 	}
 	loc, ok := seg.index[id]
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("layout: chunk %s/%d not in store", dataset, id)
 	}
+	// Pin the fd before dropping s.mu: Compact/Close must wait for this
+	// read before closing the file it resolves to.
+	seg.mu.RLock()
+	s.mu.Unlock()
+	defer seg.mu.RUnlock()
 	start := time.Now()
 	buf := make([]byte, loc.length)
 	if _, err := seg.f.ReadAt(buf, loc.off); err != nil {
@@ -287,7 +298,6 @@ func (s *FileStore) Compact(dataset string) error {
 		return err
 	}
 	path := filepath.Join(s.dir, sanitize(dataset))
-	seg.f.Close()
 	if err := os.Rename(tmpPath, path); err != nil {
 		return fmt.Errorf("layout: compact rename: %w", err)
 	}
@@ -295,6 +305,11 @@ func (s *FileStore) Compact(dataset string) error {
 	if err != nil {
 		return err
 	}
+	// Wait for in-flight readers of the old file before closing it; new
+	// readers resolve to the replacement segment.
+	seg.mu.Lock()
+	seg.f.Close()
+	seg.mu.Unlock()
 	s.files[dataset] = &segment{f: f, index: newIndex, size: off}
 	return nil
 }
@@ -305,7 +320,10 @@ func (s *FileStore) Close() error {
 	defer s.mu.Unlock()
 	var first error
 	for _, seg := range s.files {
-		if err := seg.f.Close(); err != nil && first == nil {
+		seg.mu.Lock()
+		err := seg.f.Close()
+		seg.mu.Unlock()
+		if err != nil && first == nil {
 			first = err
 		}
 	}

@@ -74,6 +74,10 @@ type Node struct {
 	// the unit the paper's LR compute cost is defined over.
 	AggOps     atomic.Int64
 	CombineOps atomic.Int64
+	// CacheHits counts chunk reads served by the node's chunk cache instead
+	// of a disk read (ChunksRead still counts them; BytesRead too, since the
+	// engine consumed the bytes either way).
+	CacheHits atomic.Int64
 	phaseNanos [numPhases]atomic.Int64
 	// phaseIO attributes the traffic counters above to the phase that
 	// incurred them; AddRead/AddSent/AddRecv update totals and phase
@@ -117,6 +121,7 @@ type Snapshot struct {
 	MsgsRecv     int64
 	AggOps       int64
 	CombineOps   int64
+	CacheHits    int64
 	PhaseNanos   [4]int64
 }
 
@@ -132,6 +137,7 @@ func (n *Node) Snapshot() Snapshot {
 	s.MsgsRecv = n.MsgsRecv.Load()
 	s.AggOps = n.AggOps.Load()
 	s.CombineOps = n.CombineOps.Load()
+	s.CacheHits = n.CacheHits.Load()
 	for p := 0; p < int(numPhases); p++ {
 		s.PhaseNanos[p] = n.phaseNanos[p].Load()
 	}
@@ -149,6 +155,7 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.MsgsRecv += o.MsgsRecv
 	s.AggOps += o.AggOps
 	s.CombineOps += o.CombineOps
+	s.CacheHits += o.CacheHits
 	for p := range s.PhaseNanos {
 		s.PhaseNanos[p] += o.PhaseNanos[p]
 	}
