@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check test-failure bench clean
+.PHONY: all build test race vet check test-failure bench bench-cache bench-engine clean
 
 all: check
 
@@ -25,13 +25,19 @@ test-failure:
 
 check: build vet test
 
-bench: bench-cache
+bench: bench-cache bench-engine
 	$(GO) run ./cmd/adr-bench -quick
 
 # Cache benchmark: cold vs warm disk reads for a repeated range-query sweep,
 # summarized into BENCH_3.json.
 bench-cache:
 	BENCH_JSON=BENCH_3.json $(GO) test -run '^$$' -bench RepeatedRangeQuery -benchtime 1x .
+
+# Execution-pipeline benchmark: compute-bound local reduction with one vs
+# four decode+aggregate workers, summarized into BENCH_4.json. Fails if the
+# pipeline delivers less than a 1.5x speedup.
+bench-engine:
+	BENCH_JSON=BENCH_4.json $(GO) test -run '^$$' -bench LocalReductionWorkers -benchtime 1x .
 
 clean:
 	rm -rf bin

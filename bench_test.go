@@ -458,6 +458,111 @@ func adrNewBenchRepo() (*adr.Repository, error) {
 	return repo, nil
 }
 
+// BenchmarkLocalReductionWorkers measures the execution pipeline on the
+// workload it exists for: compute-bound local reduction. The query wraps the
+// raster app in emulator.CostApp, which charges a fixed latency per
+// Aggregate call (the live analogue of the simulator's per-class costs, and
+// of the paper's Table 1 where SAT spends 40ms per aggregation). With one
+// worker the node pays every charge serially; with four, charges overlap
+// exactly as compute would overlap on four cores — so the speedup is
+// meaningful even on a single-CPU host. With BENCH_JSON set, a JSON summary
+// (per-width wall time and the speedup ratio) is written to that path.
+func BenchmarkLocalReductionWorkers(b *testing.B) {
+	const aggDelay = 5 * time.Millisecond
+	walls := make(map[int]time.Duration)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			repo, err := adrNewCostRepo(workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer repo.Close()
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				res, err := repo.Execute(context.Background(), &adr.Query{
+					Input: "pts", Output: "img", Strategy: adr.FRA,
+					App: &emulator.CostApp{
+						Inner:    &adr.RasterApp{Op: adr.Sum, CellsPerDim: 4},
+						AggDelay: aggDelay,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Chunks) == 0 {
+					b.Fatal("no results")
+				}
+				wall += time.Since(start)
+			}
+			walls[workers] = wall / time.Duration(b.N)
+			b.ReportMetric(float64(walls[workers].Nanoseconds())/1e6, "wall-ms")
+		})
+	}
+	w1, w4 := walls[1], walls[4]
+	if w1 == 0 || w4 == 0 {
+		return // a -bench filter selected only one width
+	}
+	speedup := float64(w1) / float64(w4)
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		out := map[string]any{
+			"benchmark":        "LocalReductionWorkers",
+			"agg_delay_ns":     aggDelay.Nanoseconds(),
+			"workers1_wall_ns": w1.Nanoseconds(),
+			"workers4_wall_ns": w4.Nanoseconds(),
+			"speedup_4_over_1": speedup,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if speedup < 1.5 {
+		b.Fatalf("pipeline ineffective: workers=4 only %.2fx faster than workers=1 (%v vs %v)",
+			speedup, w4, w1)
+	}
+}
+
+// adrNewCostRepo loads a 4-node repository sized for the pipeline benchmark:
+// enough input chunks per node that per-chunk compute latency dominates.
+func adrNewCostRepo(workers int) (*adr.Repository, error) {
+	repo, err := adr.NewRepository(adr.Options{Nodes: 4, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	region := adr.R(0, 256, 0, 256)
+	rng := rand.New(rand.NewSource(23))
+	items := make([]adr.Item, 16384)
+	for i := range items {
+		items[i] = adr.Item{
+			Coord: adr.Pt(rng.Float64()*256, rng.Float64()*256),
+			Value: adr.EncodeValue(int64(i)),
+		}
+	}
+	grid, err := adr.NewGrid(region, 16, 16)
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := adr.PartitionGrid(items, grid)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := repo.LoadDataset("pts", adr.AttrSpace{Name: "in", Bounds: region}, chunks); err != nil {
+		return nil, err
+	}
+	outGrid, err := adr.NewGrid(region, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := repo.LoadDataset("img", adr.AttrSpace{Name: "out", Bounds: region}, adr.GridChunks(outGrid)); err != nil {
+		return nil, err
+	}
+	return repo, nil
+}
+
 // BenchmarkRepeatedRangeQuery measures the chunk cache on the workload it
 // exists for: a sliding window of overlapping range queries over a
 // file-backed farm. The first (cold) sweep pulls every chunk it touches off

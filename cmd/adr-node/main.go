@@ -38,6 +38,7 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline on this node; 0 disables")
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "chunk cache budget in bytes (0 disables caching)")
 	maxQueries := flag.Int("max-queries", 64, "max concurrently executing queries; excess queue (0 = unbounded)")
+	workers := flag.Int("workers", 0, "decode+aggregate workers per query (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *id < 0 || *mesh == "" || *control == "" || *dataDir == "" {
@@ -64,6 +65,7 @@ func main() {
 		QueryTimeout: *queryTimeout,
 		CacheBytes:   *cacheBytes,
 		MaxQueries:   *maxQueries,
+		Workers:      *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adr-node:", err)

@@ -68,6 +68,10 @@ type Config struct {
 	// connection, so a stalled client cannot pin a handler goroutine. 0
 	// selects DefaultRequestTimeout; negative disables the deadline.
 	RequestTimeout time.Duration
+	// Workers is the execution-pipeline width per query on this node
+	// (engine.Config.Workers); <= 0 lets the engine default to
+	// runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 // DefaultRequestTimeout is how long a fresh control connection may take to
@@ -366,6 +370,7 @@ func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace met
 		InputDataset:  spec.Input,
 		OutputDataset: spec.Output,
 		ResultDataset: spec.ResultDataset,
+		Workers:       s.cfg.Workers,
 		OnResult: func(node rpc.NodeID, c *chunk.Chunk) error {
 			streamMu.Lock()
 			defer streamMu.Unlock()

@@ -1,0 +1,99 @@
+// Package bufpool recycles payload buffers across the engine's hot paths:
+// the TCP transport's frame reads, chunk encoding on the forward path, and
+// the worker pipeline's decode+aggregate stages. Without it, every inbound
+// frame and every forwarded output chunk allocates a fresh []byte that dies
+// within microseconds, and at pipeline rates the allocator becomes the
+// second bottleneck after the aggregation itself (the classic decoupled-
+// execution observation: once compute is parallel, allocation churn is what
+// serializes next, on the GC).
+//
+// Buffers are size-classed in powers of two, backed by one sync.Pool per
+// class. Get(n) returns a buffer of length n whose first n bytes are
+// UNSPECIFIED — callers must fully overwrite them (frame reads and appends
+// do). Put returns a buffer for reuse; the caller must not touch it
+// afterwards. Ownership is single-holder: a buffer flows from Get through
+// exactly one consumer to Put (or is dropped to the GC, which is always
+// safe — the pool is an optimization, never a correctness requirement).
+//
+// Reuse is observable as the adr_engine_pool_hits_total /
+// adr_engine_pool_misses_total counter pair: hits are Gets served by a
+// recycled buffer, misses are Gets that had to allocate.
+package bufpool
+
+import (
+	"sync"
+
+	"adr/internal/metrics"
+)
+
+var (
+	hits   = metrics.Default.Counter("adr_engine_pool_hits_total")
+	misses = metrics.Default.Counter("adr_engine_pool_misses_total")
+)
+
+// Size classes: 1 KiB up to 64 MiB (rpc.MaxFrameBytes). Requests above the
+// largest class allocate directly and are never pooled.
+const (
+	minClassBits = 10
+	maxClassBits = 26
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+var pools [numClasses]sync.Pool
+
+// classFor returns the smallest class index whose buffers hold n bytes, or
+// -1 when n is out of the pooled range.
+func classFor(n int) int {
+	if n > 1<<maxClassBits {
+		return -1
+	}
+	for c := 0; c < numClasses; c++ {
+		if n <= 1<<(minClassBits+c) {
+			return c
+		}
+	}
+	return -1
+}
+
+// Get returns a buffer of length n (capacity may be larger). The contents
+// are unspecified; the caller must overwrite all n bytes before reading
+// them. Buffers outside the pooled size range are plain allocations.
+func Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	c := classFor(n)
+	if c < 0 {
+		misses.Inc()
+		return make([]byte, n)
+	}
+	if v := pools[c].Get(); v != nil {
+		hits.Inc()
+		b := *(v.(*[]byte))
+		return b[:n]
+	}
+	misses.Inc()
+	return make([]byte, n, 1<<(minClassBits+c))
+}
+
+// Put recycles a buffer obtained from Get. Buffers whose capacity is not an
+// exact size class (foreign allocations, subslices) are dropped to the GC.
+// The caller must not use b after Put.
+func Put(b []byte) {
+	c := cap(b)
+	if c < 1<<minClassBits || c&(c-1) != 0 {
+		return
+	}
+	cls := classFor(c)
+	if cls < 0 || 1<<(minClassBits+cls) != c {
+		return
+	}
+	b = b[:c]
+	pools[cls].Put(&b)
+}
+
+// Stats returns the cumulative hit and miss counts, for tests and
+// diagnostics; the same values are exported on /metrics.
+func Stats() (h, m int64) {
+	return hits.Value(), misses.Value()
+}

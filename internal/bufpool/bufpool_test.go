@@ -1,0 +1,86 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	h0, m0 := Stats()
+	b := Get(1500)
+	if len(b) != 1500 {
+		t.Fatalf("Get(1500) len = %d", len(b))
+	}
+	if cap(b) != 2048 {
+		t.Fatalf("Get(1500) cap = %d, want 2048", cap(b))
+	}
+	if _, m := Stats(); m == m0 {
+		t.Error("first Get should count a miss")
+	}
+	for i := range b {
+		b[i] = byte(i)
+	}
+	Put(b)
+	b2 := Get(2048)
+	if cap(b2) != 2048 {
+		t.Fatalf("Get(2048) cap = %d", cap(b2))
+	}
+	if h, _ := Stats(); h == h0 {
+		// The sync.Pool may theoretically drop the buffer between Put and
+		// Get, but within one goroutine with no GC it is retained; a miss
+		// here would signal broken class bookkeeping.
+		t.Error("Get after Put should count a hit")
+	}
+}
+
+func TestSizeClassEdges(t *testing.T) {
+	for _, n := range []int{1, 1024, 1025, 4096, 1 << 20} {
+		b := Get(n)
+		if len(b) != n {
+			t.Errorf("Get(%d) len = %d", n, len(b))
+		}
+		if cap(b)&(cap(b)-1) != 0 {
+			t.Errorf("Get(%d) cap %d not a power of two", n, cap(b))
+		}
+		Put(b)
+	}
+	// Oversized requests are plain allocations and must not panic on Put.
+	huge := Get(1<<26 + 1)
+	if len(huge) != 1<<26+1 {
+		t.Fatalf("oversized Get len = %d", len(huge))
+	}
+	Put(huge)
+	if Get(0) != nil {
+		t.Error("Get(0) should be nil")
+	}
+	Put(nil)
+	// Foreign buffers (non-class capacity) are silently dropped.
+	Put(make([]byte, 100, 100))
+}
+
+// TestConcurrentGetPut exercises the pool from many goroutines under -race:
+// buffers handed out concurrently must never be shared.
+func TestConcurrentGetPut(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 512 + (g*37+i)%8192
+				b := Get(n)
+				for j := range b {
+					b[j] = byte(g)
+				}
+				for j := range b {
+					if b[j] != byte(g) {
+						t.Errorf("buffer shared across goroutines")
+						return
+					}
+				}
+				Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -216,3 +216,41 @@ func TestQuickDecodeSurvivesCorruption(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestAppendToMatchesEncode: AppendTo into a prefixed or pre-sized buffer
+// produces the identical encoding Encode does, appends exactly EncodedSize
+// bytes, and never reallocates a buffer with enough spare capacity.
+func TestAppendToMatchesEncode(t *testing.T) {
+	c := sampleChunk()
+	want := Encode(c)
+	if len(want) != EncodedSize(c) {
+		t.Fatalf("Encode produced %d bytes, EncodedSize says %d", len(want), EncodedSize(c))
+	}
+
+	prefix := []byte("prefix-")
+	got := AppendTo(c, append([]byte(nil), prefix...))
+	if !bytes.Equal(got[:len(prefix)], prefix) {
+		t.Error("AppendTo clobbered the destination prefix")
+	}
+	if !bytes.Equal(got[len(prefix):], want) {
+		t.Error("AppendTo encoding differs from Encode")
+	}
+
+	// A recycled buffer with exact spare capacity is reused in place.
+	dst := make([]byte, 0, EncodedSize(c))
+	out := AppendTo(c, dst)
+	if &out[0] != &dst[:1][0] {
+		t.Error("AppendTo reallocated despite sufficient capacity")
+	}
+	if !bytes.Equal(out, want) {
+		t.Error("in-place AppendTo encoding differs from Encode")
+	}
+
+	back, err := Decode(out)
+	if err != nil {
+		t.Fatalf("Decode(AppendTo): %v", err)
+	}
+	if back.Meta.ID != c.Meta.ID || len(back.Items) != len(c.Items) {
+		t.Errorf("round trip lost data: %+v", back.Meta)
+	}
+}

@@ -34,15 +34,32 @@ const (
 // ErrCorrupt is wrapped by decode errors caused by malformed input.
 var ErrCorrupt = fmt.Errorf("chunk: corrupt encoding")
 
-// Encode serializes the chunk. The returned buffer's length becomes the
-// chunk's payload size.
-func Encode(c *Chunk) []byte {
+// EncodedSize returns the exact number of bytes Encode/AppendTo produce for
+// c, so callers can obtain a right-sized buffer (e.g. from bufpool) before
+// encoding.
+func EncodedSize(c *Chunk) int {
 	dims := c.Meta.MBR.Dims
 	size := 4 + 1 + 1 + 4 + 4 + 4 + 4 + 2 + len(c.Meta.Dataset) + 16*dims
 	for _, it := range c.Items {
 		size += 8*dims + 4 + len(it.Value)
 	}
-	buf := make([]byte, 0, size)
+	return size
+}
+
+// Encode serializes the chunk. The returned buffer's length becomes the
+// chunk's payload size.
+func Encode(c *Chunk) []byte {
+	return AppendTo(c, make([]byte, 0, EncodedSize(c)))
+}
+
+// AppendTo appends the chunk's encoding to dst and returns the extended
+// slice, exactly as Encode but without forcing a fresh allocation — the
+// engine's emit and forward paths pass recycled buffers here so encoding
+// stops churning the allocator. Appending exactly EncodedSize(c) bytes, it
+// never reallocates when dst has that much spare capacity.
+func AppendTo(c *Chunk, dst []byte) []byte {
+	dims := c.Meta.MBR.Dims
+	buf := dst
 	buf = binary.LittleEndian.AppendUint32(buf, magic)
 	buf = append(buf, version, byte(dims))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Meta.ID))

@@ -39,6 +39,10 @@ type Options struct {
 	// hot region read each chunk from disk once. Most useful with StoreDir;
 	// legal (if pointless) over in-memory disks.
 	CacheBytes int64
+	// Workers is the per-node execution-pipeline width handed to the engine
+	// (engine.Config.Workers); <= 0 lets the engine default to
+	// runtime.GOMAXPROCS(0).
+	Workers int
 }
 
 // DefaultAccMemBytes is the per-processor accumulator memory used when the
@@ -53,6 +57,7 @@ type Repository struct {
 	registry *space.Registry
 	farm     *layout.Farm
 	machine  plan.Machine
+	workers  int
 
 	mu       sync.RWMutex
 	datasets map[string]*layout.Dataset
@@ -88,6 +93,7 @@ func NewRepository(opts Options) (*Repository, error) {
 		registry: space.NewRegistry(),
 		farm:     farm,
 		machine:  plan.Machine{Procs: opts.Nodes, AccMemBytes: opts.AccMemBytes},
+		workers:  opts.Workers,
 		datasets: make(map[string]*layout.Dataset),
 	}, nil
 }
@@ -342,6 +348,7 @@ func (r *Repository) Execute(ctx context.Context, q *Query) (*Result, error) {
 		InputDataset:  q.Input,
 		OutputDataset: q.Output,
 		ResultDataset: q.ResultDataset,
+		Workers:       r.workers,
 		OnResult: func(node rpc.NodeID, c *chunk.Chunk) error {
 			mu.Lock()
 			defer mu.Unlock()

@@ -1,0 +1,98 @@
+package emulator
+
+import (
+	"fmt"
+	"time"
+
+	"adr/internal/chunk"
+	"adr/internal/engine"
+	"adr/internal/simadr"
+)
+
+// CostApp wraps an engine.App and charges an emulated compute latency per
+// operation — the live engine's analogue of the simulator's per-class
+// simadr.Costs. The paper's emulated applications are compute-heavy in
+// local reduction (SAT spends 40ms per aggregation, Table 1); wrapping a
+// cheap app in CostApp reproduces that regime on the live engine, which is
+// what the execution-pipeline benchmarks need: a workload whose bottleneck
+// is per-chunk computation, not disk or allocation.
+//
+// By default the latency is charged by sleeping, which emulates compute
+// occupancy without needing real cores — on a single-CPU host, workers
+// still overlap their charged latencies exactly as real aggregations would
+// overlap on separate cores. Set Spin to burn CPU instead when measuring on
+// real multi-core hardware.
+type CostApp struct {
+	Inner engine.App
+	// AggDelay is charged on every Aggregate call (one input chunk into one
+	// accumulator — the unit the paper's LR cost is defined over).
+	AggDelay time.Duration
+	// CombineDelay is charged on every Combine call.
+	CombineDelay time.Duration
+	// Spin busy-loops instead of sleeping, consuming real CPU.
+	Spin bool
+}
+
+// NewCostApp derives the per-operation delays from a scenario's simulator
+// cost model (seconds per operation).
+func NewCostApp(inner engine.App, costs simadr.Costs) *CostApp {
+	return &CostApp{
+		Inner:        inner,
+		AggDelay:     time.Duration(costs.LR * float64(time.Second)),
+		CombineDelay: time.Duration(costs.GC * float64(time.Second)),
+	}
+}
+
+func (c *CostApp) charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if c.Spin {
+		for end := time.Now().Add(d); time.Now().Before(end); {
+		}
+		return
+	}
+	time.Sleep(d)
+}
+
+// Init delegates to the inner app.
+func (c *CostApp) Init(out chunk.Meta, existing *chunk.Chunk, ghost bool) (engine.Accumulator, error) {
+	return c.Inner.Init(out, existing, ghost)
+}
+
+// Aggregate charges AggDelay, then delegates.
+func (c *CostApp) Aggregate(acc engine.Accumulator, out chunk.Meta, in *chunk.Chunk) error {
+	c.charge(c.AggDelay)
+	return c.Inner.Aggregate(acc, out, in)
+}
+
+// Combine charges CombineDelay, then delegates.
+func (c *CostApp) Combine(dst, src engine.Accumulator, out chunk.Meta) error {
+	c.charge(c.CombineDelay)
+	return c.Inner.Combine(dst, src, out)
+}
+
+// Output delegates to the inner app.
+func (c *CostApp) Output(acc engine.Accumulator, out chunk.Meta) (*chunk.Chunk, error) {
+	return c.Inner.Output(acc, out)
+}
+
+// EncodeAccum delegates to the inner app.
+func (c *CostApp) EncodeAccum(acc engine.Accumulator, out chunk.Meta) ([]byte, error) {
+	return c.Inner.EncodeAccum(acc, out)
+}
+
+// DecodeAccum delegates to the inner app.
+func (c *CostApp) DecodeAccum(data []byte, out chunk.Meta) (engine.Accumulator, error) {
+	return c.Inner.DecodeAccum(data, out)
+}
+
+// InitRequiresOutput delegates to the inner app.
+func (c *CostApp) InitRequiresOutput() bool { return c.Inner.InitRequiresOutput() }
+
+var _ engine.App = (*CostApp)(nil)
+
+// String labels the wrapper for logs and bench output.
+func (c *CostApp) String() string {
+	return fmt.Sprintf("cost(agg=%v, combine=%v, spin=%v)", c.AggDelay, c.CombineDelay, c.Spin)
+}

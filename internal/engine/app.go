@@ -46,7 +46,13 @@ type App interface {
 	// chunk. The engine guarantees in.Meta's targets include out; the app
 	// maps items (Map) and aggregates those landing in out's region. Must
 	// be commutative and associative across calls, as §1 requires of ADR
-	// aggregation functions.
+	// aggregation functions. Must not retain in or anything aliasing it
+	// (item values alias the transport buffer, which the engine recycles
+	// when Aggregate returns); copy what the accumulator keeps. The engine
+	// serializes Aggregate calls per accumulator but runs calls on
+	// different accumulators concurrently (Config.Workers), so apps must
+	// not share mutable state across accumulators without their own
+	// synchronization.
 	Aggregate(acc Accumulator, out chunk.Meta, in *chunk.Chunk) error
 
 	// Combine merges a partial accumulator (a ghost) into dst during the
@@ -57,6 +63,9 @@ type App interface {
 	Output(acc Accumulator, out chunk.Meta) (*chunk.Chunk, error)
 
 	// EncodeAccum/DecodeAccum serialize accumulators for ghost transfer.
+	// The accumulator DecodeAccum returns must not alias data — the engine
+	// recycles the buffer after the combine. Like Aggregate, Combine and
+	// DecodeAccum may run concurrently for different outputs.
 	EncodeAccum(acc Accumulator, out chunk.Meta) ([]byte, error)
 	DecodeAccum(data []byte, out chunk.Meta) (Accumulator, error)
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"adr/internal/chunk"
 	"adr/internal/layout"
@@ -106,6 +107,15 @@ type Config struct {
 	// DefaultReadAhead.
 	ReadAhead int
 
+	// Workers is the per-node execution-pipeline width: how many goroutines
+	// decode and aggregate chunks concurrently during local reduction and
+	// global combine. <= 0 selects runtime.GOMAXPROCS(0). Any width produces
+	// identical results — ADR aggregation functions are commutative and
+	// associative (§1), so interleaving order cannot change an accumulator's
+	// final value — but widths > 1 let a multi-core node keep every core on
+	// the decode+aggregate hot path instead of one.
+	Workers int
+
 	// serialStorage backs RunSerial only; see WithSerialStorage.
 	serialStorage ChunkStorage
 }
@@ -113,6 +123,14 @@ type Config struct {
 // DefaultReadAhead is the per-node prefetch depth: deep enough to keep a
 // disk busy while a chunk is aggregated, shallow enough to bound memory.
 const DefaultReadAhead = 4
+
+// workers resolves the configured pipeline width.
+func (c *Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Validate checks the configuration for obvious inconsistencies.
 func (c *Config) Validate() error {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"adr/internal/bufpool"
 	"adr/internal/chunk"
 	"adr/internal/metrics"
 	"adr/internal/rpc"
@@ -23,6 +24,11 @@ type node struct {
 	// fwdByInput[t][i] lists the destinations input position i must be
 	// forwarded to in tile t (from this node).
 	fwdByInput []map[int32][]rpc.NodeID
+	// holders[t][o] lists every node allocating output o in tile t (home
+	// first), for outputs this node owns. Precomputed so phaseInit does not
+	// rescan every tile's ghost lists per owned output; nil unless the app
+	// requires existing-output initialization.
+	holders []map[int32][]rpc.NodeID
 	// expect[t] is what this node waits for in tile t.
 	expect []tileExpect
 }
@@ -54,7 +60,9 @@ func RunNodeTraced(ctx context.Context, cfg Config, ep rpc.Endpoint, st ChunkSto
 	if n == nil {
 		return metrics.NodeTrace{}, err
 	}
-	return n.met.Trace(int(ep.Self()), len(cfg.Plan.Tiles), wall), err
+	tr := n.met.Trace(int(ep.Self()), len(cfg.Plan.Tiles), wall)
+	tr.Workers = n.cfg.workers()
+	return tr, err
 }
 
 // runNode is the shared driver behind RunNode and RunNodeTraced. A nil node
@@ -104,7 +112,12 @@ var (
 	engBytesSent = metrics.Default.Counter("adr_engine_bytes_sent_total")
 	engBytesRecv = metrics.Default.Counter("adr_engine_bytes_recv_total")
 	engAggOps    = metrics.Default.Counter("adr_engine_agg_ops_total")
-	engPhaseNS   = [4]*metrics.Counter{
+	// Pipeline counters: cumulative across workers, so they exceed wall time
+	// on multi-worker runs (divide by adr_engine_node_runs_total × workers
+	// for a per-worker view).
+	engDecodeNS    = metrics.Default.Counter("adr_engine_decode_nanos_total")
+	engQueueWaitNS = metrics.Default.Counter("adr_engine_queue_wait_nanos_total")
+	engPhaseNS     = [4]*metrics.Counter{
 		metrics.Default.Counter(`adr_engine_phase_nanos_total{phase="I"}`),
 		metrics.Default.Counter(`adr_engine_phase_nanos_total{phase="LR"}`),
 		metrics.Default.Counter(`adr_engine_phase_nanos_total{phase="GC"}`),
@@ -122,6 +135,8 @@ func (n *node) recordTotals() {
 	engBytesSent.Add(s.BytesSent)
 	engBytesRecv.Add(s.BytesRecv)
 	engAggOps.Add(s.AggOps)
+	engDecodeNS.Add(s.DecodeNanos)
+	engQueueWaitNS.Add(s.QueueWaitNanos)
 	for p, ns := range s.PhaseNanos {
 		engPhaseNS[p].Add(ns)
 	}
@@ -135,6 +150,9 @@ func (n *node) prepare() {
 	n.fwdByInput = make([]map[int32][]rpc.NodeID, tiles)
 	n.expect = make([]tileExpect, tiles)
 	needInit := n.cfg.App.InitRequiresOutput()
+	if needInit {
+		n.holders = make([]map[int32][]rpc.NodeID, tiles)
+	}
 
 	for t := range p.Tiles {
 		tile := &p.Tiles[t]
@@ -163,7 +181,10 @@ func (n *node) prepare() {
 			}
 		}
 		// Existing-output forwarding: each replica holder that is not the
-		// owner receives one msgOutputInit per allocated output.
+		// owner receives one msgOutputInit per allocated output. Build the
+		// owned outputs' holder lists here in one pass over the tile's ghost
+		// lists (home first, then each replicating node), instead of
+		// rescanning them per output during phaseInit.
 		if needInit {
 			count := 0
 			for _, o := range tile.Locals[n.self] {
@@ -177,6 +198,21 @@ func (n *node) prepare() {
 				}
 			}
 			n.expect[t].outputInits = count
+
+			hm := make(map[int32][]rpc.NodeID)
+			for _, o := range tile.Outputs {
+				if rpc.NodeID(w.Outputs[o].Node) == n.self {
+					hm[o] = []rpc.NodeID{rpc.NodeID(p.Home[o])}
+				}
+			}
+			for q := range tile.Ghosts {
+				for _, g := range tile.Ghosts[q] {
+					if hs, ok := hm[g]; ok {
+						hm[g] = append(hs, rpc.NodeID(q))
+					}
+				}
+			}
+			n.holders[t] = hm
 		}
 		// Finished outputs shipped back to this node as owner.
 		for _, o := range tile.Outputs {
@@ -195,10 +231,15 @@ func (n *node) runTile(ctx context.Context, t int32) error {
 	if err != nil {
 		return fmt.Errorf("initialization: %w", err)
 	}
-	if err := n.phaseLocalReduction(ctx, t, accs); err != nil {
+	// One lock per held accumulator, shared by the local-reduction and
+	// global-combine pools; the accs map itself is only mutated between
+	// phases (ghost deletions in GC, local deletions in OH), never while a
+	// pool's workers are reading it.
+	locks := accumLocks(accs)
+	if err := n.phaseLocalReduction(ctx, t, accs, locks); err != nil {
 		return fmt.Errorf("local reduction: %w", err)
 	}
-	if err := n.phaseGlobalCombine(ctx, t, accs); err != nil {
+	if err := n.phaseGlobalCombine(ctx, t, accs, locks); err != nil {
 		return fmt.Errorf("global combine: %w", err)
 	}
 	if err := n.phaseOutput(ctx, t, accs); err != nil {
@@ -240,8 +281,7 @@ func (n *node) phaseInit(ctx context.Context, t int32) (map[int32]Accumulator, e
 				}
 				existing[o] = c
 			}
-			holders := n.replicaHolders(t, o)
-			for _, h := range holders {
+			for _, h := range n.holders[t][o] {
 				if h == n.self {
 					continue
 				}
@@ -254,13 +294,18 @@ func (n *node) phaseInit(ctx context.Context, t int32) (map[int32]Accumulator, e
 			}
 		}
 		// Replica duties: receive existing chunks for allocations whose
-		// owner is remote.
+		// owner is remote. Pooled payloads stay referenced by the decoded
+		// chunks (item values alias them) until Init has copied what it
+		// needs, so they are recycled only after the init loop below.
 		for k := 0; k < n.expect[t].outputInits; k++ {
 			msg, err := n.mbox.take(ctx, t, msgOutputInit)
 			if err != nil {
 				return nil, err
 			}
 			n.noteRecv(metrics.Initialization, msg)
+			if msg.Pooled {
+				defer bufpool.Put(msg.Payload)
+			}
 			if len(msg.Payload) > 0 {
 				c, err := chunk.Decode(msg.Payload)
 				if err != nil {
@@ -291,22 +336,6 @@ func (n *node) phaseInit(ctx context.Context, t int32) (map[int32]Accumulator, e
 	return accs, nil
 }
 
-// replicaHolders returns every node allocating output o in tile t.
-func (n *node) replicaHolders(t, o int32) []rpc.NodeID {
-	p := n.cfg.Plan
-	tile := &p.Tiles[t]
-	holders := []rpc.NodeID{rpc.NodeID(p.Home[o])}
-	for q := range tile.Ghosts {
-		for _, g := range tile.Ghosts[q] {
-			if g == o {
-				holders = append(holders, rpc.NodeID(q))
-				break
-			}
-		}
-	}
-	return holders
-}
-
 // readChunk reads a local chunk through the storage, reporting cache hits
 // when the storage can (CachedReader).
 func (n *node) readChunk(dataset string, m chunk.Meta) (data []byte, hit bool, err error) {
@@ -317,14 +346,6 @@ func (n *node) readChunk(dataset string, m chunk.Meta) (data []byte, hit bool, e
 	return data, false, err
 }
 
-// readResult is one prefetched local chunk.
-type readResult struct {
-	input int32
-	data  []byte
-	hit   bool
-	err   error
-}
-
 // phaseLocalReduction retrieves this node's local input chunks (with
 // read-ahead, overlapping disk and processing), aggregates them into every
 // allocated target accumulator of the tile, forwards them to remote homes,
@@ -332,8 +353,12 @@ type readResult struct {
 //
 // Retrieval runs one prefetcher per local disk (§2.2: nodes have multiple
 // disks attached; chunks on different disks are read in parallel), each
-// bounded by the shared read-ahead depth.
-func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]Accumulator) error {
+// bounded by the shared read-ahead depth. Both sources — local reads and
+// forwarded chunks from the mailbox — feed one worker pool, so a remote
+// chunk is decoded and aggregated the moment it arrives instead of waiting
+// for local reads to drain, and Config.Workers chunks are processed
+// concurrently under per-output locks.
+func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]Accumulator, locks map[int32]*sync.Mutex) error {
 	p, w := n.cfg.Plan, n.cfg.Workload
 	tile := &p.Tiles[t]
 	reads := tile.Reads[n.self]
@@ -342,7 +367,55 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 	if depth <= 0 {
 		depth = DefaultReadAhead
 	}
-	// Group reads by disk, preserving retrieval order within each disk.
+
+	pl := newPool(ctx, n.cfg.workers(), n.met, func(wk work) error {
+		kind := "input"
+		if wk.local {
+			// Forward before aggregating so remote homes can overlap their
+			// own processing with ours (the chunk buffer is shared: storage
+			// data is immutable here, the zero-copy path §2.4 argues for).
+			for _, dst := range n.fwdByInput[t][wk.seq] {
+				if err := n.send(metrics.LocalReduction, rpc.Message{
+					Src: n.self, Dst: dst, Type: msgInputChunk, Tile: t, Seq: wk.seq,
+					Payload: wk.data,
+				}); err != nil {
+					return err
+				}
+			}
+		} else {
+			kind = "forwarded input"
+		}
+		ds := time.Now()
+		c, err := chunk.Decode(wk.data)
+		n.met.DecodeNanos.Add(time.Since(ds).Nanoseconds())
+		if err != nil {
+			return fmt.Errorf("decode %s %d: %w", kind, wk.seq, err)
+		}
+		for _, o := range w.Targets[wk.seq] {
+			if p.TileOf[o] != t {
+				continue
+			}
+			acc, ok := accs[o]
+			if !ok {
+				continue
+			}
+			start := time.Now()
+			mu := locks[o]
+			mu.Lock()
+			err := n.cfg.App.Aggregate(acc, w.Outputs[o], c)
+			mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("aggregate input %d into output %d: %w", wk.seq, o, err)
+			}
+			n.met.AggOps.Add(1)
+			n.met.AddPhase(metrics.LocalReduction, time.Since(start))
+		}
+		return nil
+	})
+
+	// Producers: one prefetcher per disk (retrieval order preserved within
+	// each disk) plus one feeder draining the tile's forwarded inputs.
+	var producers sync.WaitGroup
 	byDisk := make(map[int32][]int32)
 	var diskOrder []int32
 	for _, i := range reads {
@@ -352,103 +425,69 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 		}
 		byDisk[d] = append(byDisk[d], i)
 	}
-	readCh := make(chan readResult, depth)
-	rctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var readers sync.WaitGroup
+	sem := make(chan struct{}, depth)
 	for _, d := range diskOrder {
-		readers.Add(1)
+		producers.Add(1)
 		go func(queue []int32) {
-			defer readers.Done()
+			defer producers.Done()
 			for _, i := range queue {
-				data, hit, err := n.readChunk(n.cfg.InputDataset, w.Inputs[i])
+				// The semaphore caps concurrent disk reads at the read-ahead
+				// depth; the bounded pool queue caps the decoded-side backlog
+				// (together they play the role of the old prefetch channel).
 				select {
-				case readCh <- readResult{input: i, data: data, hit: hit, err: err}:
-				case <-rctx.Done():
+				case sem <- struct{}{}:
+				case <-pl.ctx.Done():
+					pl.fail(pl.ctx.Err())
 					return
 				}
+				data, hit, err := n.readChunk(n.cfg.InputDataset, w.Inputs[i])
+				<-sem
 				if err != nil {
+					pl.fail(fmt.Errorf("read input %d: %w", i, err))
+					return
+				}
+				n.met.AddRead(metrics.LocalReduction, int64(len(data)))
+				if hit {
+					n.met.CacheHits.Add(1)
+				}
+				if !pl.submit(work{seq: i, data: data, hit: hit, local: true}) {
 					return
 				}
 			}
 		}(byDisk[d])
 	}
-	go func() {
-		readers.Wait()
-		close(readCh)
-	}()
-
-	aggregate := func(i int32, c *chunk.Chunk) error {
-		start := time.Now()
-		for _, o := range w.Targets[i] {
-			if p.TileOf[o] != t {
-				continue
+	if n.expect[t].inputs > 0 {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			for k := 0; k < n.expect[t].inputs; k++ {
+				msg, err := n.mbox.take(pl.ctx, t, msgInputChunk)
+				if err != nil {
+					pl.fail(err)
+					return
+				}
+				n.noteRecv(metrics.LocalReduction, msg)
+				if !pl.submit(work{seq: msg.Seq, data: msg.Payload, pooled: msg.Pooled}) {
+					return
+				}
 			}
-			acc, ok := accs[o]
-			if !ok {
-				continue
-			}
-			if err := n.cfg.App.Aggregate(acc, w.Outputs[o], c); err != nil {
-				return fmt.Errorf("aggregate input %d into output %d: %w", i, o, err)
-			}
-			n.met.AggOps.Add(1)
-		}
-		n.met.AddPhase(metrics.LocalReduction, time.Since(start))
-		return nil
+		}()
 	}
-
-	for r := range readCh {
-		if r.err != nil {
-			return fmt.Errorf("read input %d: %w", r.input, r.err)
-		}
-		n.met.AddRead(metrics.LocalReduction, int64(len(r.data)))
-		if r.hit {
-			n.met.CacheHits.Add(1)
-		}
-		// Forward before aggregating so remote homes can overlap their own
-		// processing with ours (the chunk buffer is shared: storage data is
-		// immutable here, the zero-copy path §2.4 argues for).
-		for _, dst := range n.fwdByInput[t][r.input] {
-			if err := n.send(metrics.LocalReduction, rpc.Message{
-				Src: n.self, Dst: dst, Type: msgInputChunk, Tile: t, Seq: r.input,
-				Payload: r.data,
-			}); err != nil {
-				return err
-			}
-		}
-		c, err := chunk.Decode(r.data)
-		if err != nil {
-			return fmt.Errorf("decode input %d: %w", r.input, err)
-		}
-		if err := aggregate(r.input, c); err != nil {
-			return err
-		}
-	}
-
-	// Fold in inputs forwarded from other nodes.
-	for k := 0; k < n.expect[t].inputs; k++ {
-		msg, err := n.mbox.take(ctx, t, msgInputChunk)
-		if err != nil {
-			return err
-		}
-		n.noteRecv(metrics.LocalReduction, msg)
-		c, err := chunk.Decode(msg.Payload)
-		if err != nil {
-			return fmt.Errorf("decode forwarded input %d: %w", msg.Seq, err)
-		}
-		if err := aggregate(msg.Seq, c); err != nil {
-			return err
-		}
-	}
-	return nil
+	producers.Wait()
+	return pl.wait()
 }
 
 // phaseGlobalCombine sends this node's ghost accumulators to their homes
 // and combines the ghosts other nodes send here into the final values.
-func (n *node) phaseGlobalCombine(ctx context.Context, t int32, accs map[int32]Accumulator) error {
+// Inbound ghosts are decoded and combined on the worker pool — decode
+// dominates for large accumulators, and ghosts for different outputs never
+// contend (per-output locks serialize only same-output combines).
+func (n *node) phaseGlobalCombine(ctx context.Context, t int32, accs map[int32]Accumulator, locks map[int32]*sync.Mutex) error {
 	p, w := n.cfg.Plan, n.cfg.Workload
 	tile := &p.Tiles[t]
 
+	// Ghost deletions below mutate accs; they complete before the pool's
+	// workers start reading the map.
 	for _, o := range tile.Ghosts[n.self] {
 		start := time.Now()
 		data, err := n.cfg.App.EncodeAccum(accs[o], w.Outputs[o])
@@ -465,29 +504,45 @@ func (n *node) phaseGlobalCombine(ctx context.Context, t int32, accs map[int32]A
 		delete(accs, o) // ghost memory is released after the send
 	}
 
-	for k := 0; k < n.expect[t].ghostTotal; k++ {
-		msg, err := n.mbox.take(ctx, t, msgGhostAccum)
-		if err != nil {
-			return err
-		}
-		n.noteRecv(metrics.GlobalCombine, msg)
-		o := msg.Seq
+	if n.expect[t].ghostTotal == 0 {
+		return nil
+	}
+	pl := newPool(ctx, n.cfg.workers(), n.met, func(wk work) error {
+		o := wk.seq
 		dst, ok := accs[o]
 		if !ok {
 			return fmt.Errorf("ghost for output %d arrived but no local accumulator", o)
 		}
-		start := time.Now()
-		src, err := n.cfg.App.DecodeAccum(msg.Payload, w.Outputs[o])
+		ds := time.Now()
+		src, err := n.cfg.App.DecodeAccum(wk.data, w.Outputs[o])
+		n.met.DecodeNanos.Add(time.Since(ds).Nanoseconds())
 		if err != nil {
 			return fmt.Errorf("decode ghost %d: %w", o, err)
 		}
-		if err := n.cfg.App.Combine(dst, src, w.Outputs[o]); err != nil {
+		start := time.Now()
+		mu := locks[o]
+		mu.Lock()
+		err = n.cfg.App.Combine(dst, src, w.Outputs[o])
+		mu.Unlock()
+		if err != nil {
 			return fmt.Errorf("combine ghost %d: %w", o, err)
 		}
 		n.met.CombineOps.Add(1)
 		n.met.AddPhase(metrics.GlobalCombine, time.Since(start))
+		return nil
+	})
+	for k := 0; k < n.expect[t].ghostTotal; k++ {
+		msg, err := n.mbox.take(pl.ctx, t, msgGhostAccum)
+		if err != nil {
+			pl.fail(err)
+			break
+		}
+		n.noteRecv(metrics.GlobalCombine, msg)
+		if !pl.submit(work{seq: msg.Seq, data: msg.Payload, pooled: msg.Pooled}) {
+			break
+		}
 	}
-	return nil
+	return pl.wait()
 }
 
 // phaseOutput finalizes this node's homed accumulators into output chunks,
@@ -507,9 +562,13 @@ func (n *node) phaseOutput(ctx context.Context, t int32, accs map[int32]Accumula
 		n.met.AddPhase(metrics.OutputHandling, time.Since(start))
 		owner := rpc.NodeID(w.Outputs[o].Node)
 		if owner != n.self {
+			// Encode into a pooled buffer: the TCP transport recycles it once
+			// the frame is written (in-process receivers just drop it to the
+			// GC, since their decoded chunk aliases the bytes).
+			payload := chunk.AppendTo(out, bufpool.Get(chunk.EncodedSize(out))[:0])
 			if err := n.send(metrics.OutputHandling, rpc.Message{
 				Src: n.self, Dst: owner, Type: msgFinalOutput, Tile: t, Seq: o,
-				Payload: chunk.Encode(out),
+				Payload: payload, Pooled: true,
 			}); err != nil {
 				return err
 			}

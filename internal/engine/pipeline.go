@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adr/internal/bufpool"
+	"adr/internal/metrics"
+)
+
+// The execution pipeline parallelizes the CPU side of a phase. The paper's
+// engine overlaps disk, communication and computation but spends exactly one
+// processor on the computation itself (one CPU per SP node, §3); on a
+// multi-core host that leaves every chunk's decode+aggregate serialized on
+// the tile loop while prefetched reads and forwarded chunks queue behind it.
+// A pool runs that work on Config.Workers goroutines instead: producers
+// (disk prefetchers, the mailbox feeder) submit encoded chunks, workers
+// decode and fold them into accumulators under per-output locks. Correctness
+// does not depend on ordering — ADR aggregation functions are commutative
+// and associative (§1), so any interleaving yields the same accumulator
+// values — which is also why remote inputs can be consumed the moment they
+// arrive instead of after local reads drain.
+
+// work is one queued pipeline item: an encoded chunk (or ghost accumulator)
+// with its routing position.
+type work struct {
+	// seq is the item's plan position: input position for local-reduction
+	// items, output position for global-combine ghosts.
+	seq  int32
+	data []byte
+	// pooled marks data as a bufpool buffer owned by the pipeline; the pool
+	// recycles it as soon as its worker callback returns (the callback must
+	// not retain data or anything aliasing it).
+	pooled bool
+	// hit and local describe local-read items (cache hit; read locally and
+	// therefore subject to forwarding) — false for items from the mailbox.
+	hit   bool
+	local bool
+	enq   time.Time
+}
+
+// pool runs a phase's decode+aggregate callback on a fixed set of workers.
+// Producers submit items; the first error (from a worker or reported by a
+// producer via fail) cancels the pool's context, which unblocks every
+// producer. Workers keep draining the queue after a failure so producers
+// never block on a full channel, but only recycle the skipped items'
+// buffers. Use: submit from any number of goroutines, join the producers,
+// then call wait exactly once.
+type pool struct {
+	ch  chan work
+	met *metrics.Node
+	fn  func(work) error
+
+	// ctx is the pool's cancellation scope: derived from the phase context,
+	// cancelled on first failure. Producers blocked in submit (or in their
+	// own waits, e.g. mbox.take) must watch it.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	wg     sync.WaitGroup
+	once   sync.Once
+	failed atomic.Bool
+	err    error
+}
+
+// newPool starts workers goroutines consuming the queue.
+func newPool(ctx context.Context, workers int, met *metrics.Node, fn func(work) error) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	pctx, cancel := context.WithCancel(ctx)
+	p := &pool{
+		// 2x workers of buffer: enough that a producer handing over an item
+		// rarely blocks, small enough to bound in-flight chunk memory at a
+		// few chunks per worker (with ReadAhead bounding the readers above).
+		ch:     make(chan work, 2*workers),
+		met:    met,
+		fn:     fn,
+		ctx:    pctx,
+		cancel: cancel,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for w := range p.ch {
+		if p.failed.Load() {
+			w.release()
+			continue
+		}
+		p.met.QueueWaitNanos.Add(time.Since(w.enq).Nanoseconds())
+		err := p.fn(w)
+		w.release()
+		if err != nil {
+			p.fail(err)
+		}
+	}
+}
+
+// release recycles a pooled payload. Dropping instead of recycling is always
+// safe; recycling while any reference lives is not — callers guarantee the
+// worker callback is the payload's last reader.
+func (w *work) release() {
+	if w.pooled {
+		bufpool.Put(w.data)
+	}
+}
+
+// submit queues one item, blocking while workers are busy. It reports false
+// once the pool is cancelled; the item's buffer is recycled and the
+// producer should stop. A cancellation that interrupts a submission is
+// recorded as the pool's failure (unless an earlier error already was), so
+// a phase cut short by its context never reports success — while a phase
+// whose work all completed before the context died still does, exactly as
+// the serial loop behaved.
+func (p *pool) submit(w work) bool {
+	w.enq = time.Now()
+	select {
+	case p.ch <- w:
+		return true
+	case <-p.ctx.Done():
+		w.release()
+		p.fail(p.ctx.Err())
+		return false
+	}
+}
+
+// fail records the pool's first error and cancels its context. Safe from
+// workers and producers alike; producers that stop early on pool
+// cancellation must call it (with ctx.Err()) so the phase reports the
+// interruption.
+func (p *pool) fail(err error) {
+	p.once.Do(func() {
+		p.err = err
+		p.failed.Store(true)
+		p.cancel()
+	})
+}
+
+// wait closes the queue, joins the workers and returns the first failure.
+// All producers must have returned before wait is called — it is the final
+// barrier of the phase.
+func (p *pool) wait() error {
+	close(p.ch)
+	p.wg.Wait()
+	p.cancel()
+	return p.err
+}
+
+// accumLocks builds the per-output mutex shard map for one tile: every
+// accumulator this node holds gets its own lock, so two chunks targeting
+// different outputs aggregate fully in parallel and two targeting the same
+// output serialize only against each other. The map itself is read-only
+// while workers run.
+func accumLocks(accs map[int32]Accumulator) map[int32]*sync.Mutex {
+	locks := make(map[int32]*sync.Mutex, len(accs))
+	for o := range accs {
+		locks[o] = new(sync.Mutex)
+	}
+	return locks
+}

@@ -1,0 +1,192 @@
+package engine_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"adr/internal/apps"
+	"adr/internal/chunk"
+	"adr/internal/core"
+	"adr/internal/engine"
+	"adr/internal/layout"
+	"adr/internal/plan"
+	"adr/internal/rpc"
+	"adr/internal/space"
+)
+
+// Concurrency tests for the execution pipeline: every strategy under a wide
+// worker pool must produce output chunks byte-identical to the serial
+// oracle (RunSerial), because ADR aggregation is commutative and
+// associative — any interleaving of chunks into an accumulator yields the
+// same final value. Run with -race these tests also prove the per-output
+// lock sharding: two chunks aggregating into different outputs run
+// concurrently, two into the same output never do.
+
+// runParallel executes cfg across an in-process fabric and returns the
+// finished output chunks in output-position order.
+func runParallel(t *testing.T, repo *core.Repository, p *plan.Plan, w *plan.Workload, app engine.App, workers int) []*chunk.Chunk {
+	t.Helper()
+	fabric, err := rpc.NewInprocFabric(p.Machine.Procs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabric.Close()
+
+	idToPos := make(map[chunk.ID]int32, len(w.Outputs))
+	for pos, m := range w.Outputs {
+		idToPos[m.ID] = int32(pos)
+	}
+	results := make([]*chunk.Chunk, len(w.Outputs))
+	var mu sync.Mutex
+	cfg := engine.Config{
+		Plan: p, Workload: w, App: app,
+		InputDataset: "pts",
+		Workers:      workers,
+		OnResult: func(node rpc.NodeID, c *chunk.Chunk) error {
+			mu.Lock()
+			defer mu.Unlock()
+			pos, ok := idToPos[c.Meta.ID]
+			if !ok {
+				return fmt.Errorf("result for unknown output chunk %d", c.Meta.ID)
+			}
+			results[pos] = c
+			return nil
+		},
+	}
+	if _, err := engine.Run(context.Background(), cfg, fabric, engine.FarmStorage{Farm: repo.Farm()}); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// serialOracle runs the Fig 1 loop over the same workload.
+func serialOracle(t *testing.T, repo *core.Repository, p *plan.Plan, w *plan.Workload, app engine.App) []*chunk.Chunk {
+	t.Helper()
+	cfg := engine.Config{
+		Plan: p, Workload: w, App: app,
+		InputDataset: "pts",
+		OnResult:     func(rpc.NodeID, *chunk.Chunk) error { return nil },
+	}.WithSerialStorage(engine.FarmStorage{Farm: repo.Farm()})
+	outs, err := engine.RunSerial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs
+}
+
+// requireIdenticalChunks compares two output sets byte-for-byte through the
+// wire encoding — stricter than comparing rendered values, it pins item
+// order and metadata too.
+func requireIdenticalChunks(t *testing.T, want, got []*chunk.Chunk) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("output count: want %d, got %d", len(want), len(got))
+	}
+	for o := range want {
+		if got[o] == nil {
+			t.Fatalf("output %d never emitted", o)
+		}
+		wb, gb := chunk.Encode(want[o]), chunk.Encode(got[o])
+		if !bytes.Equal(wb, gb) {
+			t.Errorf("output %d differs from serial result (%d vs %d bytes)", o, len(wb), len(gb))
+		}
+	}
+}
+
+// TestWorkersMatchSerial runs every strategy with a wide worker pool (and,
+// under -race, with the race detector watching the shared accumulators) and
+// requires byte-identical outputs to the serial oracle. Workers=1 is the
+// serial-equivalence leg of the same matrix.
+func TestWorkersMatchSerial(t *testing.T) {
+	const nodes = 3
+	repo := buildRepo(t, nodes)
+	for _, s := range []plan.Strategy{plan.FRA, plan.SRA, plan.DA, plan.Hybrid} {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", s, workers), func(t *testing.T) {
+				app := &apps.RasterApp{Op: apps.Sum, CellsPerDim: 4}
+				q := &core.Query{Input: "pts", Output: "img", Strategy: s, App: app}
+				w, err := repo.BuildWorkload(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				planner, err := plan.NewPlanner(repo.Machine())
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := planner.Plan(s, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := serialOracle(t, repo, p, w, &apps.RasterApp{Op: apps.Sum, CellsPerDim: 4})
+				got := runParallel(t, repo, p, w, app, workers)
+				requireIdenticalChunks(t, want, got)
+			})
+		}
+	}
+}
+
+// TestWorkersSameAccumulator funnels every input chunk into one single
+// accumulator, so all 8 workers contend on one lock: the sharpest test that
+// same-output aggregation is serialized correctly (under -race) and still
+// sums to the serial result byte-for-byte.
+func TestWorkersSameAccumulator(t *testing.T) {
+	const nodes = 3
+	repo, err := core.NewRepository(core.Options{Nodes: nodes, AccMemBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	rng := rand.New(rand.NewSource(7))
+	inSpace := space.AttrSpace{Name: "pts", Bounds: space.R(0, 64, 0, 64)}
+	var items []chunk.Item
+	for i := 0; i < 800; i++ {
+		items = append(items, chunk.Item{
+			Coord: space.Pt(rng.Float64()*64, rng.Float64()*64),
+			Value: apps.EncodeValue(int64(rng.Intn(1000))),
+		})
+	}
+	grid, _ := space.NewGrid(inSpace.Bounds, 8, 8)
+	chunks, err := layout.PartitionGrid(items, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.LoadDataset("pts", inSpace, chunks); err != nil {
+		t.Fatal(err)
+	}
+	// One output chunk covering the whole space: every input targets it.
+	outSpace := space.AttrSpace{Name: "one", Bounds: space.R(0, 64, 0, 64)}
+	if _, err := repo.LoadDataset("one", outSpace, []*chunk.Chunk{
+		{Meta: chunk.Meta{MBR: outSpace.Bounds}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, s := range []plan.Strategy{plan.FRA, plan.DA} {
+		t.Run(s.String(), func(t *testing.T) {
+			app := &apps.RasterApp{Op: apps.Sum, CellsPerDim: 8}
+			q := &core.Query{Input: "pts", Output: "one", Strategy: s, App: app}
+			w, err := repo.BuildWorkload(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(w.Outputs) != 1 {
+				t.Fatalf("expected single output, got %d", len(w.Outputs))
+			}
+			planner, err := plan.NewPlanner(repo.Machine())
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := planner.Plan(s, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := serialOracle(t, repo, p, w, &apps.RasterApp{Op: apps.Sum, CellsPerDim: 8})
+			got := runParallel(t, repo, p, w, app, 8)
+			requireIdenticalChunks(t, want, got)
+		})
+	}
+}

@@ -78,7 +78,14 @@ type Node struct {
 	// of a disk read (ChunksRead still counts them; BytesRead too, since the
 	// engine consumed the bytes either way).
 	CacheHits atomic.Int64
-	phaseNanos [numPhases]atomic.Int64
+	// DecodeNanos is the cumulative wall time workers spent in chunk.Decode,
+	// and QueueWaitNanos the cumulative time work items waited in the
+	// pipeline queue before a worker picked them up. Both are summed across
+	// workers, so with W workers they may exceed the phase wall time — the
+	// ratio QueueWaitNanos/phase time is the pipeline's backlog signal.
+	DecodeNanos    atomic.Int64
+	QueueWaitNanos atomic.Int64
+	phaseNanos     [numPhases]atomic.Int64
 	// phaseIO attributes the traffic counters above to the phase that
 	// incurred them; AddRead/AddSent/AddRecv update totals and phase
 	// together, and Trace exports the per-phase view.
@@ -119,10 +126,12 @@ type Snapshot struct {
 	ChunksRead   int64
 	MsgsSent     int64
 	MsgsRecv     int64
-	AggOps       int64
-	CombineOps   int64
-	CacheHits    int64
-	PhaseNanos   [4]int64
+	AggOps         int64
+	CombineOps     int64
+	CacheHits      int64
+	DecodeNanos    int64
+	QueueWaitNanos int64
+	PhaseNanos     [4]int64
 }
 
 // Snapshot captures the current counter values.
@@ -138,6 +147,8 @@ func (n *Node) Snapshot() Snapshot {
 	s.AggOps = n.AggOps.Load()
 	s.CombineOps = n.CombineOps.Load()
 	s.CacheHits = n.CacheHits.Load()
+	s.DecodeNanos = n.DecodeNanos.Load()
+	s.QueueWaitNanos = n.QueueWaitNanos.Load()
 	for p := 0; p < int(numPhases); p++ {
 		s.PhaseNanos[p] = n.phaseNanos[p].Load()
 	}
@@ -156,6 +167,8 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.AggOps += o.AggOps
 	s.CombineOps += o.CombineOps
 	s.CacheHits += o.CacheHits
+	s.DecodeNanos += o.DecodeNanos
+	s.QueueWaitNanos += o.QueueWaitNanos
 	for p := range s.PhaseNanos {
 		s.PhaseNanos[p] += o.PhaseNanos[p]
 	}

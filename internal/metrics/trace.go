@@ -31,8 +31,11 @@ type NodeTrace struct {
 	Node      int         `json:"node"`
 	Tiles     int         `json:"tiles"`
 	WallNanos int64       `json:"wall_nanos"` // end-to-end node execution time
-	Phases    []PhaseSpan `json:"phases"`     // always the four §2.4 phases, in order
-	Totals    Snapshot    `json:"totals"`
+	// Workers is the execution-pipeline width the node ran with (Config.
+	// Workers after defaulting); 1 means the pre-pipeline serial behaviour.
+	Workers int         `json:"workers,omitempty"`
+	Phases  []PhaseSpan `json:"phases"` // always the four §2.4 phases, in order
+	Totals  Snapshot    `json:"totals"`
 }
 
 // QueryTrace is the per-node, per-phase trace of one query's execution

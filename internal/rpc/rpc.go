@@ -55,6 +55,15 @@ type Message struct {
 	// Payload is the message body (e.g. an encoded chunk). The transport
 	// does not copy it; senders must not mutate it after Send.
 	Payload []byte
+	// Pooled marks Payload as recyclable through bufpool: whoever finishes
+	// with the bytes may return them for reuse. It is never serialized; each
+	// hop sets it only for buffers it allocated from the pool and owns
+	// exclusively. The TCP transport sets it on inbound frames (each frame
+	// body is a fresh pool buffer) and, for outbound messages carrying it,
+	// recycles the payload once the frame is on the wire. Buffers that may be
+	// shared — cache-resident chunk data, loopback self-sends — must leave it
+	// unset; dropping a pooled buffer without recycling is always safe.
+	Pooled bool
 }
 
 // ErrClosed is returned by operations on a closed endpoint.

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"adr/internal/bufpool"
 )
 
 // TCP transport: each node is a process with a listener; the fabric is a
@@ -335,6 +337,11 @@ func (n *TCPNode) writeLoop(conn *tcpConn) {
 					return
 				}
 			}
+			// A pooled payload is owned by the transport once the frame is
+			// on the wire; recycle it so the forward path reuses buffers.
+			if m.Pooled {
+				bufpool.Put(m.Payload)
+			}
 		case <-conn.dead:
 			return
 		case <-n.done:
@@ -366,8 +373,13 @@ func (n *TCPNode) readLoop(conn *tcpConn) {
 			Seq:   int32(binary.LittleEndian.Uint32(hdr[21:])),
 		}
 		if payloadLen := int(length) - tcpHeaderLen; payloadLen > 0 {
-			m.Payload = make([]byte, payloadLen)
+			// Each frame body is a fresh pooled buffer owned exclusively by
+			// the receiver, which releases it back once the payload has been
+			// decoded and consumed (see Message.Pooled).
+			m.Payload = bufpool.Get(payloadLen)
+			m.Pooled = true
 			if _, err := io.ReadFull(conn.c, m.Payload); err != nil {
+				bufpool.Put(m.Payload)
 				n.failConn(conn, peerErr(conn.peer, "read", err))
 				return
 			}
