@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check test-failure bench bench-cache bench-engine clean
+.PHONY: all build test race vet check test-failure bench bench-cache bench-engine bench-sharedscan docs clean
 
 all: check
 
@@ -18,14 +18,14 @@ vet:
 
 # Failure-path tests: peer death, send timeouts, abort broadcast, dispatcher
 # late messages, the store fd-lifetime race, cache coherence under
-# concurrency, and admission-control recovery — race-checked, bounded so a
-# reintroduced hang fails fast.
+# concurrency, admission-control recovery, and shared-scan batches surviving
+# a member's abort — race-checked, bounded so a reintroduced hang fails fast.
 test-failure:
-	$(GO) test -race -timeout 120s -run 'Fail|Fault|Abort|Death|Late|Timeout|Malformed|Race|Admission|Compact|CacheConcurrent|Inflight' ./internal/rpc/... ./internal/engine/... ./internal/backend/... ./internal/layout/...
+	$(GO) test -race -timeout 120s -run 'Fail|Fault|Abort|Death|Late|Timeout|Malformed|Race|Admission|Compact|CacheConcurrent|Inflight|SharedBatch|SharedScan' ./internal/rpc/... ./internal/engine/... ./internal/backend/... ./internal/layout/...
 
 check: build vet test
 
-bench: bench-cache bench-engine
+bench: bench-cache bench-engine bench-sharedscan
 	$(GO) run ./cmd/adr-bench -quick
 
 # Cache benchmark: cold vs warm disk reads for a repeated range-query sweep,
@@ -38,6 +38,19 @@ bench-cache:
 # pipeline delivers less than a 1.5x speedup.
 bench-engine:
 	BENCH_JSON=BENCH_4.json $(GO) test -run '^$$' -bench LocalReductionWorkers -benchtime 1x .
+
+# Shared-scan benchmark: disk reads for two concurrent queries at 100/50/0%
+# input overlap, batched vs serial, summarized into BENCH_6.json. Fails if
+# full overlap dedups less than 30% of the reads.
+bench-sharedscan:
+	BENCH_JSON=BENCH_6.json $(GO) test -run '^$$' -bench SharedScanOverlap -benchtime 1x .
+
+# Documentation checks: README flag tables vs registered flags, markdown
+# links and DESIGN.md section cross-references, and the godoc package-
+# comment lint.
+docs:
+	$(GO) test -run 'TestDocs|TestGodoc' .
+	$(GO) test -run TestFlagTable ./cmd/...
 
 clean:
 	rm -rf bin

@@ -13,7 +13,14 @@ import (
 // buildRepo loads a deterministic sensor dataset and an output raster.
 func buildRepo(t testing.TB, nodes int) *adr.Repository {
 	t.Helper()
-	repo, err := adr.NewRepository(adr.Options{Nodes: nodes})
+	return buildRepoOpts(t, adr.Options{Nodes: nodes})
+}
+
+// buildRepoOpts is buildRepo with full repository options (the shared-scan
+// tests need BatchWindow).
+func buildRepoOpts(t testing.TB, opts adr.Options) *adr.Repository {
+	t.Helper()
+	repo, err := adr.NewRepository(opts)
 	if err != nil {
 		t.Fatal(err)
 	}

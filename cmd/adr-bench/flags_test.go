@@ -1,0 +1,14 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"adr/internal/doccheck"
+)
+
+// TestFlagTableMatchesREADME pins the README's adr-bench flag table to the
+// driver's registered flag set: every flag documented, every default exact.
+func TestFlagTableMatchesREADME(t *testing.T) {
+	doccheck.CheckFlagTable(t, "../../README.md", "adr-bench", func(fs *flag.FlagSet) { registerFlags(fs) })
+}

@@ -26,20 +26,47 @@ import (
 	"adr/internal/plan"
 )
 
+// options holds every adr-bench flag value. Flags register through
+// registerFlags so the README flag table can be cross-checked by a test.
+type options struct {
+	exp     *string
+	scaling *string
+	procs   *string
+	seed    *int64
+	accmem  *int64
+	quick   *bool
+	csv     *bool
+	hybrid  *bool
+	diskBW  *float64
+	seekMS  *float64
+	netBW   *float64
+	latMS   *float64
+}
+
+// registerFlags declares the benchmark driver's full flag set on fs.
+func registerFlags(fs *flag.FlagSet) *options {
+	return &options{
+		exp:     fs.String("exp", "all", "experiment: table1 | fig8 | fig9a | fig9b | fig9c | fig9d | all"),
+		scaling: fs.String("scaling", "both", "fig8 scaling: fixed | scaled | both"),
+		procs:   fs.String("procs", "8,16,32,64,128", "comma-separated processor counts"),
+		seed:    fs.Int64("seed", 1, "emulator seed"),
+		accmem:  fs.Int64("accmem", 8<<20, "per-processor accumulator memory (bytes)"),
+		quick:   fs.Bool("quick", false, "reduced sweep (1/8-size datasets, 3 proc counts)"),
+		csv:     fs.Bool("csv", false, "emit CSV instead of aligned tables"),
+		hybrid:  fs.Bool("hybrid", false, "include the HYBRID strategy (paper future work)"),
+		diskBW:  fs.Float64("diskbw", 0, "disk bandwidth MB/s (default 10, the SP model)"),
+		seekMS:  fs.Float64("seekms", -1, "disk positioning cost ms (default 10)"),
+		netBW:   fs.Float64("netbw", 0, "link bandwidth MB/s per direction (default 110)"),
+		latMS:   fs.Float64("latms", -1, "per-message latency ms (default 0.5)"),
+	}
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1 | fig8 | fig9a | fig9b | fig9c | fig9d | all")
-	scaling := flag.String("scaling", "both", "fig8 scaling: fixed | scaled | both")
-	procsFlag := flag.String("procs", "8,16,32,64,128", "comma-separated processor counts")
-	seed := flag.Int64("seed", 1, "emulator seed")
-	accmem := flag.Int64("accmem", 8<<20, "per-processor accumulator memory (bytes)")
-	quick := flag.Bool("quick", false, "reduced sweep (1/8-size datasets, 3 proc counts)")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	hybrid := flag.Bool("hybrid", false, "include the HYBRID strategy (paper future work)")
-	diskBW := flag.Float64("diskbw", 0, "disk bandwidth MB/s (default 10, the SP model)")
-	seekMS := flag.Float64("seekms", -1, "disk positioning cost ms (default 10)")
-	netBW := flag.Float64("netbw", 0, "link bandwidth MB/s per direction (default 110)")
-	latMS := flag.Float64("latms", -1, "per-message latency ms (default 0.5)")
+	opt := registerFlags(flag.CommandLine)
 	flag.Parse()
+	exp, scaling, procsFlag := opt.exp, opt.scaling, opt.procs
+	seed, accmem, quick, csv, hybrid := opt.seed, opt.accmem, opt.quick, opt.csv, opt.hybrid
+	diskBW, seekMS, netBW, latMS := opt.diskBW, opt.seekMS, opt.netBW, opt.latMS
 
 	cfg := experiments.DefaultConfig()
 	if *quick {

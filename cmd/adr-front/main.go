@@ -24,12 +24,29 @@ import (
 	"adr/internal/metrics"
 )
 
+// options holds every adr-front flag value. Flags register through
+// registerFlags so the README flag table can be cross-checked by a test.
+type options struct {
+	listen      *string
+	nodes       *string
+	metricsAddr *string
+	slowQuery   *time.Duration
+}
+
+// registerFlags declares the front-end's full flag set on fs.
+func registerFlags(fs *flag.FlagSet) *options {
+	return &options{
+		listen:      fs.String("listen", ":7000", "client listen address"),
+		nodes:       fs.String("nodes", "", "comma-separated back-end control addresses (required)"),
+		metricsAddr: fs.String("metrics-addr", "", "HTTP listen address for /metrics and /debug/queries (disabled when empty)"),
+		slowQuery:   fs.Duration("slow-query", time.Second, "log queries slower than this (0 disables)"),
+	}
+}
+
 func main() {
-	listen := flag.String("listen", ":7000", "client listen address")
-	nodes := flag.String("nodes", "", "comma-separated back-end control addresses (required)")
-	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics and /debug/queries (disabled when empty)")
-	slowQuery := flag.Duration("slow-query", time.Second, "log queries slower than this (0 disables)")
+	opt := registerFlags(flag.CommandLine)
 	flag.Parse()
+	listen, nodes, metricsAddr, slowQuery := opt.listen, opt.nodes, opt.metricsAddr, opt.slowQuery
 
 	if *nodes == "" {
 		fmt.Fprintln(os.Stderr, "adr-front: -nodes is required")

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"adr/internal/doccheck"
+)
+
+// TestFlagTableMatchesREADME pins the README's adr-node flag table to the
+// daemon's registered flag set: every flag documented, every default exact.
+func TestFlagTableMatchesREADME(t *testing.T) {
+	doccheck.CheckFlagTable(t, "../../README.md", "adr-node", func(fs *flag.FlagSet) { registerFlags(fs) })
+}

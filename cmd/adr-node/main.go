@@ -20,26 +20,57 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"adr/internal/backend"
 	"adr/internal/metrics"
 	"adr/internal/rpc"
 )
 
+// options holds every adr-node flag value. Flags register through
+// registerFlags so the README flag table can be cross-checked by a test.
+type options struct {
+	id           *int
+	mesh         *string
+	control      *string
+	dataDir      *string
+	accmem       *int64
+	metricsAddr  *string
+	sendTimeout  *time.Duration
+	dialRetry    *time.Duration
+	queryTimeout *time.Duration
+	cacheBytes   *int64
+	maxQueries   *int
+	workers      *int
+	batchWindow  *time.Duration
+	maxBatch     *int
+}
+
+// registerFlags declares the daemon's full flag set on fs.
+func registerFlags(fs *flag.FlagSet) *options {
+	return &options{
+		id:           fs.Int("id", -1, "this node's id (required)"),
+		mesh:         fs.String("mesh", "", "comma-separated mesh addresses for all nodes (required)"),
+		control:      fs.String("control", "", "control listen address for the front-end (required)"),
+		dataDir:      fs.String("data", "", "farm directory (required)"),
+		accmem:       fs.Int64("accmem", 0, "per-node accumulator memory bytes (default 8 MiB)"),
+		metricsAddr:  fs.String("metrics-addr", "", "HTTP listen address for /metrics and /debug/queries (disabled when empty)"),
+		sendTimeout:  fs.Duration("send-timeout", 0, "mesh send timeout per peer; 0 uses the 30s default, negative disables"),
+		dialRetry:    fs.Duration("dial-retry", 0, "how long mesh establishment retries unreachable peers (default 30s)"),
+		queryTimeout: fs.Duration("query-timeout", 0, "per-query execution deadline on this node; 0 disables"),
+		cacheBytes:   fs.Int64("cache-bytes", 256<<20, "chunk cache budget in bytes (0 disables caching)"),
+		maxQueries:   fs.Int("max-queries", 64, "max concurrently executing queries; excess queue (0 = unbounded)"),
+		workers:      fs.Int("workers", 0, "decode+aggregate workers per query (0 = GOMAXPROCS)"),
+		batchWindow:  fs.Duration("batch-window", 0, "shared-scan batching window: queries admitted within it dedup overlapping reads (0 disables)"),
+		maxBatch:     fs.Int("max-batch", 8, "max queries per shared-scan batch (effective with -batch-window > 0)"),
+	}
+}
+
 func main() {
-	id := flag.Int("id", -1, "this node's id (required)")
-	mesh := flag.String("mesh", "", "comma-separated mesh addresses for all nodes (required)")
-	control := flag.String("control", "", "control listen address for the front-end (required)")
-	dataDir := flag.String("data", "", "farm directory (required)")
-	accmem := flag.Int64("accmem", 0, "per-node accumulator memory bytes (default 8 MiB)")
-	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics and /debug/queries (disabled when empty)")
-	sendTimeout := flag.Duration("send-timeout", 0, "mesh send timeout per peer; 0 uses the 30s default, negative disables")
-	dialRetry := flag.Duration("dial-retry", 0, "how long mesh establishment retries unreachable peers (default 30s)")
-	queryTimeout := flag.Duration("query-timeout", 0, "per-query execution deadline on this node; 0 disables")
-	cacheBytes := flag.Int64("cache-bytes", 256<<20, "chunk cache budget in bytes (0 disables caching)")
-	maxQueries := flag.Int("max-queries", 64, "max concurrently executing queries; excess queue (0 = unbounded)")
-	workers := flag.Int("workers", 0, "decode+aggregate workers per query (0 = GOMAXPROCS)")
+	opt := registerFlags(flag.CommandLine)
 	flag.Parse()
+	id, mesh, control, dataDir := opt.id, opt.mesh, opt.control, opt.dataDir
+	metricsAddr, cacheBytes, maxQueries := opt.metricsAddr, opt.cacheBytes, opt.maxQueries
 
 	if *id < 0 || *mesh == "" || *control == "" || *dataDir == "" {
 		fmt.Fprintln(os.Stderr, "adr-node: -id, -mesh, -control and -data are required")
@@ -59,13 +90,15 @@ func main() {
 		MeshAddrs:    addrs,
 		ControlAddr:  *control,
 		DataDir:      *dataDir,
-		AccMemBytes:  *accmem,
-		SendTimeout:  *sendTimeout,
-		DialRetry:    *dialRetry,
-		QueryTimeout: *queryTimeout,
+		AccMemBytes:  *opt.accmem,
+		SendTimeout:  *opt.sendTimeout,
+		DialRetry:    *opt.dialRetry,
+		QueryTimeout: *opt.queryTimeout,
 		CacheBytes:   *cacheBytes,
 		MaxQueries:   *maxQueries,
-		Workers:      *workers,
+		Workers:      *opt.workers,
+		BatchWindow:  *opt.batchWindow,
+		MaxBatch:     *opt.maxBatch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adr-node:", err)
@@ -74,6 +107,9 @@ func main() {
 	fmt.Printf("adr-node %d: mesh up (%d nodes), control on %s\n", *id, len(addrs), srv.ControlAddr())
 	if *cacheBytes > 0 {
 		fmt.Printf("adr-node %d: chunk cache %d MiB, max %d concurrent queries\n", *id, *cacheBytes>>20, *maxQueries)
+	}
+	if *opt.batchWindow > 0 {
+		fmt.Printf("adr-node %d: shared scans on: window %v, max batch %d\n", *id, *opt.batchWindow, *opt.maxBatch)
 	}
 
 	if *metricsAddr != "" {

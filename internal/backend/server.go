@@ -64,6 +64,14 @@ type Config struct {
 	// overloaded nodes — each node running a query its peers never admitted
 	// — cannot pin admission slots forever.
 	MaxQueries int
+	// BatchWindow, when > 0, enables the cross-query shared-scan scheduler
+	// (engine.SharedScan): queries admitted within the window form a batch
+	// whose overlapping chunk reads are issued once per chunk and fanned out
+	// to every member. 0 disables batching (each query reads for itself).
+	BatchWindow time.Duration
+	// MaxBatch caps the queries grouped into one shared-scan batch; <= 0
+	// selects engine.DefaultMaxBatch. Only consulted when BatchWindow > 0.
+	MaxBatch int
 	// RequestTimeout bounds reading the request header off a new control
 	// connection, so a stalled client cannot pin a handler goroutine. 0
 	// selects DefaultRequestTimeout; negative disables the deadline.
@@ -96,6 +104,7 @@ type Server struct {
 	dispatch *engine.Dispatcher
 	farm     *layout.Farm
 	cache    *layout.ChunkCache
+	scan     *engine.SharedScan
 	datasets map[string]*layout.Dataset
 	machine  plan.Machine
 	ctrl     net.Listener
@@ -159,6 +168,9 @@ func Start(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxQueries > 0 {
 		s.admit = make(chan struct{}, cfg.MaxQueries)
+	}
+	if cfg.BatchWindow > 0 {
+		s.scan = engine.NewSharedScan(cfg.BatchWindow, cfg.MaxBatch)
 	}
 	s.datasets = make(map[string]*layout.Dataset, len(datasets))
 	for _, ds := range datasets {
@@ -396,6 +408,15 @@ func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace met
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
+	}
+	if s.scan != nil {
+		// Shared scans: merge this query's read schedule with batch peers
+		// admitted within the window, so overlapping chunk demands hit the
+		// disks once. Leave runs on every exit path — an aborting member must
+		// withdraw its demand so peers' retained payloads are released.
+		member := s.scan.Join(ctx, engine.SharedDemands(&cfg, s.cfg.Node))
+		defer member.Leave()
+		cfg.Shared = func(rpc.NodeID) *engine.ScanMember { return member }
 	}
 	trace, err = engine.RunNodeTraced(ctx, cfg, ep, st)
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"adr/internal/chunk"
 	"adr/internal/engine"
@@ -43,6 +44,14 @@ type Options struct {
 	// (engine.Config.Workers); <= 0 lets the engine default to
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// BatchWindow, when > 0, enables per-node cross-query shared scans
+	// (engine.SharedScan): concurrent Execute calls admitted within the
+	// window form a batch whose overlapping chunk reads are issued once per
+	// node and fanned out to every member query. 0 disables batching.
+	BatchWindow time.Duration
+	// MaxBatch caps the queries grouped into one shared-scan batch; <= 0
+	// selects engine.DefaultMaxBatch. Only consulted when BatchWindow > 0.
+	MaxBatch int
 }
 
 // DefaultAccMemBytes is the per-processor accumulator memory used when the
@@ -58,6 +67,9 @@ type Repository struct {
 	farm     *layout.Farm
 	machine  plan.Machine
 	workers  int
+	// scans, when non-nil, holds one shared-scan scheduler per in-process
+	// node; concurrent Execute calls join them so overlapping reads dedup.
+	scans []*engine.SharedScan
 
 	mu       sync.RWMutex
 	datasets map[string]*layout.Dataset
@@ -89,13 +101,20 @@ func NewRepository(opts Options) (*Repository, error) {
 	if opts.CacheBytes > 0 {
 		farm.WithCache(layout.NewChunkCache(opts.CacheBytes))
 	}
-	return &Repository{
+	r := &Repository{
 		registry: space.NewRegistry(),
 		farm:     farm,
 		machine:  plan.Machine{Procs: opts.Nodes, AccMemBytes: opts.AccMemBytes},
 		workers:  opts.Workers,
 		datasets: make(map[string]*layout.Dataset),
-	}, nil
+	}
+	if opts.BatchWindow > 0 {
+		r.scans = make([]*engine.SharedScan, opts.Nodes)
+		for i := range r.scans {
+			r.scans[i] = engine.NewSharedScan(opts.BatchWindow, opts.MaxBatch)
+		}
+	}
+	return r, nil
 }
 
 // Registry exposes the attribute space service.
@@ -359,6 +378,27 @@ func (r *Repository) Execute(ctx context.Context, q *Query) (*Result, error) {
 			results[pos] = c
 			return nil
 		},
+	}
+	if r.scans != nil {
+		// Join every node's shared-scan scheduler concurrently (each Join
+		// gates on its batch window; sequential joins would serialize the
+		// waits) and leave them all when the query ends, on every path.
+		members := make([]*engine.ScanMember, r.machine.Procs)
+		var jg sync.WaitGroup
+		for node := range members {
+			jg.Add(1)
+			go func(node int) {
+				defer jg.Done()
+				members[node] = r.scans[node].Join(ctx, engine.SharedDemands(&cfg, rpc.NodeID(node)))
+			}(node)
+		}
+		jg.Wait()
+		defer func() {
+			for _, m := range members {
+				m.Leave()
+			}
+		}()
+		cfg.Shared = func(n rpc.NodeID) *engine.ScanMember { return members[n] }
 	}
 	report, err := engine.Run(ctx, cfg, fabric, engine.FarmStorage{Farm: r.farm})
 	if err != nil {

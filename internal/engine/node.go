@@ -20,6 +20,10 @@ type node struct {
 	st   ChunkStorage
 	met  *metrics.Node
 	mbox *mailbox
+	// scan is this node's shared-scan membership (nil outside a batch):
+	// readChunk routes demand-registered reads through it so overlapping
+	// concurrent queries fetch each chunk once.
+	scan *ScanMember
 
 	// fwdByInput[t][i] lists the destinations input position i must be
 	// forwarded to in tile t (from this node).
@@ -79,6 +83,9 @@ func runNode(ctx context.Context, cfg Config, ep rpc.Endpoint, st ChunkStorage) 
 		st:   st,
 		met:  &metrics.Node{},
 		mbox: newMailbox(),
+	}
+	if cfg.Shared != nil {
+		n.scan = cfg.Shared(n.self)
 	}
 	n.prepare()
 	defer n.recordTotals()
@@ -266,7 +273,7 @@ func (n *node) phaseInit(ctx context.Context, t int32) (map[int32]Accumulator, e
 			}
 			var payload []byte
 			if n.st.HasChunk(n.cfg.OutputDataset, w.Outputs[o]) {
-				data, hit, err := n.readChunk(n.cfg.OutputDataset, w.Outputs[o])
+				data, hit, err := n.readChunk(ctx, n.cfg.OutputDataset, w.Outputs[o])
 				if err != nil {
 					return nil, fmt.Errorf("read existing output %d: %w", o, err)
 				}
@@ -337,13 +344,27 @@ func (n *node) phaseInit(ctx context.Context, t int32) (map[int32]Accumulator, e
 }
 
 // readChunk reads a local chunk through the storage, reporting cache hits
-// when the storage can (CachedReader).
-func (n *node) readChunk(dataset string, m chunk.Meta) (data []byte, hit bool, err error) {
-	if cr, ok := n.st.(CachedReader); ok {
-		return cr.ReadChunkCached(dataset, m)
+// when the storage can (CachedReader). Inside a shared-scan batch the read
+// is routed through the node's membership so overlapping concurrent queries
+// fetch each chunk once; ctx bounds the wait on a batch peer's in-flight
+// read (one query's abort never stalls another's).
+func (n *node) readChunk(ctx context.Context, dataset string, m chunk.Meta) (data []byte, hit bool, err error) {
+	load := func() ([]byte, bool, error) {
+		if cr, ok := n.st.(CachedReader); ok {
+			return cr.ReadChunkCached(dataset, m)
+		}
+		d, err := n.st.ReadChunk(dataset, m)
+		return d, false, err
 	}
-	data, err = n.st.ReadChunk(dataset, m)
-	return data, false, err
+	if n.scan == nil {
+		return load()
+	}
+	data, hit, shared, err := n.scan.Read(ctx, ReadKey{Dataset: dataset, ID: m.ID}, load)
+	if shared {
+		n.met.SharedReads.Add(1)
+		n.met.DedupedBytes.Add(int64(len(data)))
+	}
+	return data, hit, err
 }
 
 // phaseLocalReduction retrieves this node's local input chunks (with
@@ -440,7 +461,7 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 					pl.fail(pl.ctx.Err())
 					return
 				}
-				data, hit, err := n.readChunk(n.cfg.InputDataset, w.Inputs[i])
+				data, hit, err := n.readChunk(pl.ctx, n.cfg.InputDataset, w.Inputs[i])
 				<-sem
 				if err != nil {
 					pl.fail(fmt.Errorf("read input %d: %w", i, err))

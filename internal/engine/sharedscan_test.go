@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adr/internal/chunk"
+)
+
+// keysN builds a demand schedule of n distinct keys in one dataset.
+func keysN(dataset string, n int) []ReadKey {
+	keys := make([]ReadKey, n)
+	for i := range keys {
+		keys[i] = ReadKey{Dataset: dataset, ID: chunk.ID(i)}
+	}
+	return keys
+}
+
+// countingLoad returns a load function that fabricates a payload per key and
+// counts invocations.
+func countingLoad(loads *atomic.Int64) func(ReadKey) func() ([]byte, bool, error) {
+	return func(k ReadKey) func() ([]byte, bool, error) {
+		return func() ([]byte, bool, error) {
+			loads.Add(1)
+			return []byte(fmt.Sprintf("%s/%d", k.Dataset, k.ID)), false, nil
+		}
+	}
+}
+
+// TestSharedScanDedupsConcurrentReads: two members with identical demand
+// schedules issue each read once between them.
+func TestSharedScanDedupsConcurrentReads(t *testing.T) {
+	s := NewSharedScan(50*time.Millisecond, 2)
+	keys := keysN("in", 16)
+	ctx := context.Background()
+
+	var loads, shared atomic.Int64
+	load := countingLoad(&loads)
+
+	var wg sync.WaitGroup
+	for m := 0; m < 2; m++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mem := s.Join(ctx, keys)
+			defer mem.Leave()
+			for _, k := range keys {
+				data, _, wasShared, err := mem.Read(ctx, k, load(k))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(data) != fmt.Sprintf("%s/%d", k.Dataset, k.ID) {
+					t.Errorf("key %v: wrong payload %q", k, data)
+					return
+				}
+				if wasShared {
+					shared.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := loads.Load(); got != int64(len(keys)) {
+		t.Errorf("loads = %d, want %d (each chunk read once)", got, len(keys))
+	}
+	if got := shared.Load(); got != int64(len(keys)) {
+		t.Errorf("shared reads = %d, want %d", got, len(keys))
+	}
+}
+
+// TestSharedScanUnregisteredPassthrough: keys outside the member's demand
+// schedule go straight to storage, unshared.
+func TestSharedScanUnregisteredPassthrough(t *testing.T) {
+	s := NewSharedScan(time.Millisecond, 1)
+	mem := s.Join(context.Background(), keysN("in", 1))
+	defer mem.Leave()
+
+	var loads atomic.Int64
+	other := ReadKey{Dataset: "out", ID: 9}
+	for i := 0; i < 2; i++ {
+		_, _, shared, err := mem.Read(context.Background(), other, countingLoad(&loads)(other))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shared {
+			t.Fatal("unregistered key reported shared")
+		}
+	}
+	if loads.Load() != 2 {
+		t.Fatalf("loads = %d, want 2 (no dedup outside the schedule)", loads.Load())
+	}
+}
+
+// TestSharedScanWindowSealsBatch: a member joined after the window expires
+// lands in a fresh batch and shares nothing with the first.
+func TestSharedScanWindowSealsBatch(t *testing.T) {
+	s := NewSharedScan(5*time.Millisecond, 8)
+	keys := keysN("in", 2)
+
+	a := s.Join(context.Background(), keys) // returns when the window seals
+	b := s.Join(context.Background(), keys)
+	defer a.Leave()
+	defer b.Leave()
+	if a.batch == b.batch {
+		t.Fatal("second join after window expiry reused the sealed batch")
+	}
+
+	var loads atomic.Int64
+	load := countingLoad(&loads)
+	for _, k := range keys {
+		if _, _, _, err := a.Read(context.Background(), k, load(k)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := b.Read(context.Background(), k, load(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loads.Load() != int64(2*len(keys)) {
+		t.Fatalf("loads = %d, want %d (separate batches never share)", loads.Load(), 2*len(keys))
+	}
+}
+
+// TestSharedScanMaxBatchSeals: the size bound seals a batch without waiting
+// for the window.
+func TestSharedScanMaxBatchSeals(t *testing.T) {
+	s := NewSharedScan(time.Hour, 2) // window would block forever if consulted
+	keys := keysN("in", 1)
+	done := make(chan *ScanMember, 2)
+	for i := 0; i < 2; i++ {
+		go func() { done <- s.Join(context.Background(), keys) }()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case m := <-done:
+			defer m.Leave()
+		case <-time.After(5 * time.Second):
+			t.Fatal("Join did not return once maxBatch members joined")
+		}
+	}
+}
+
+// TestSharedScanAbortIsolation: one member's context death neither stalls
+// nor poisons its batch peer — the waiter fails on its own ctx while the
+// leader's read completes, and the peer still gets the data.
+func TestSharedScanAbortIsolation(t *testing.T) {
+	s := NewSharedScan(50*time.Millisecond, 2)
+	keys := keysN("in", 1)
+	k := keys[0]
+
+	var a, b *ScanMember
+	var jw sync.WaitGroup
+	jw.Add(2)
+	go func() { defer jw.Done(); a = s.Join(context.Background(), keys) }()
+	go func() { defer jw.Done(); b = s.Join(context.Background(), keys) }()
+	jw.Wait()
+	defer a.Leave()
+	defer b.Leave()
+
+	// A leads a slow read; B's context dies while waiting on it.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var aData []byte
+	var aErr error
+	var lw sync.WaitGroup
+	lw.Add(1)
+	go func() {
+		defer lw.Done()
+		aData, _, _, aErr = a.Read(context.Background(), k, func() ([]byte, bool, error) {
+			close(started)
+			<-release
+			return []byte("payload"), false, nil
+		})
+	}()
+	<-started
+
+	bctx, bcancel := context.WithCancel(context.Background())
+	bcancel()
+	_, _, _, bErr := b.Read(bctx, k, func() ([]byte, bool, error) {
+		t.Error("aborted waiter must not fall through to its own read")
+		return nil, false, nil
+	})
+	if !errors.Is(bErr, context.Canceled) {
+		t.Fatalf("aborted waiter error = %v, want context.Canceled", bErr)
+	}
+
+	// The leader is unaffected by B's death.
+	close(release)
+	lw.Wait()
+	if aErr != nil || string(aData) != "payload" {
+		t.Fatalf("leader read = %q, %v", aData, aErr)
+	}
+
+	// B leaves (aborted query); A's remaining schedule still works.
+	b.Leave()
+	if _, _, _, err := a.Read(context.Background(), k, func() ([]byte, bool, error) {
+		return []byte("again"), false, nil
+	}); err != nil {
+		t.Fatalf("peer read after member left: %v", err)
+	}
+}
+
+// TestSharedScanLeaderErrorShared: a failed read propagates the same error
+// to every demander without retrying.
+func TestSharedScanLeaderErrorShared(t *testing.T) {
+	s := NewSharedScan(50*time.Millisecond, 2)
+	keys := keysN("in", 1)
+	k := keys[0]
+
+	var a, b *ScanMember
+	var jw sync.WaitGroup
+	jw.Add(2)
+	go func() { defer jw.Done(); a = s.Join(context.Background(), keys) }()
+	go func() { defer jw.Done(); b = s.Join(context.Background(), keys) }()
+	jw.Wait()
+	defer a.Leave()
+	defer b.Leave()
+
+	boom := errors.New("disk on fire")
+	var loads atomic.Int64
+	_, _, _, errA := a.Read(context.Background(), k, func() ([]byte, bool, error) {
+		loads.Add(1)
+		return nil, false, boom
+	})
+	_, _, shared, errB := b.Read(context.Background(), k, func() ([]byte, bool, error) {
+		loads.Add(1)
+		return nil, false, boom
+	})
+	if !errors.Is(errA, boom) || !errors.Is(errB, boom) {
+		t.Fatalf("errors = %v, %v; want both %v", errA, errB, boom)
+	}
+	if !shared {
+		t.Error("second demander should have been served the shared error")
+	}
+	if loads.Load() != 1 {
+		t.Errorf("loads = %d, want 1 (the error is shared, not retried)", loads.Load())
+	}
+}
+
+// TestSharedScanRetentionEviction: payloads retained past the cap are
+// dropped and late consumers re-read — dedup degrades, results do not.
+func TestSharedScanRetentionEviction(t *testing.T) {
+	s := NewSharedScan(50*time.Millisecond, 2)
+	s.retainCap = 8 // bytes: forces eviction after two 5-byte payloads
+
+	keys := keysN("in", 4)
+	var a, b *ScanMember
+	var jw sync.WaitGroup
+	jw.Add(2)
+	go func() { defer jw.Done(); a = s.Join(context.Background(), keys) }()
+	go func() { defer jw.Done(); b = s.Join(context.Background(), keys) }()
+	jw.Wait()
+	defer a.Leave()
+	defer b.Leave()
+
+	var loads atomic.Int64
+	load := func(ReadKey) func() ([]byte, bool, error) {
+		return func() ([]byte, bool, error) {
+			loads.Add(1)
+			return []byte("12345"), false, nil
+		}
+	}
+	// A reads its whole schedule first; the cap retains only the tail.
+	for _, k := range keys {
+		if _, _, _, err := a.Read(context.Background(), k, load(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// B consumes afterwards: evicted keys re-read, retained ones are shared.
+	var sharedN int
+	for _, k := range keys {
+		_, _, shared, err := b.Read(context.Background(), k, load(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shared {
+			sharedN++
+		}
+	}
+	if sharedN == 0 {
+		t.Error("no reads shared: retention dropped everything")
+	}
+	if sharedN == len(keys) {
+		t.Error("every read shared: the retain cap never evicted")
+	}
+	if loads.Load() != int64(2*len(keys)-sharedN) {
+		t.Errorf("loads = %d, want %d", loads.Load(), 2*len(keys)-sharedN)
+	}
+}
+
+// TestSharedScanNilMemberPassthrough: a nil member is a working no-op
+// wrapper, so call sites need no branching.
+func TestSharedScanNilMemberPassthrough(t *testing.T) {
+	var m *ScanMember
+	data, hit, shared, err := m.Read(context.Background(), ReadKey{Dataset: "in", ID: 1}, func() ([]byte, bool, error) {
+		return []byte("x"), true, nil
+	})
+	if err != nil || string(data) != "x" || !hit || shared {
+		t.Fatalf("nil member read = %q hit=%v shared=%v err=%v", data, hit, shared, err)
+	}
+	m.Leave() // must not panic
+}

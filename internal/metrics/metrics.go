@@ -78,6 +78,12 @@ type Node struct {
 	// of a disk read (ChunksRead still counts them; BytesRead too, since the
 	// engine consumed the bytes either way).
 	CacheHits atomic.Int64
+	// SharedReads counts chunk reads served by a shared-scan batch peer's
+	// read instead of this query's own storage access, and DedupedBytes the
+	// bytes those reads did not re-fetch. Like cache hits, ChunksRead and
+	// BytesRead still count them — the query consumed the data either way.
+	SharedReads  atomic.Int64
+	DedupedBytes atomic.Int64
 	// DecodeNanos is the cumulative wall time workers spent in chunk.Decode,
 	// and QueueWaitNanos the cumulative time work items waited in the
 	// pipeline queue before a worker picked them up. Both are summed across
@@ -129,6 +135,8 @@ type Snapshot struct {
 	AggOps         int64
 	CombineOps     int64
 	CacheHits      int64
+	SharedReads    int64
+	DedupedBytes   int64
 	DecodeNanos    int64
 	QueueWaitNanos int64
 	PhaseNanos     [4]int64
@@ -147,6 +155,8 @@ func (n *Node) Snapshot() Snapshot {
 	s.AggOps = n.AggOps.Load()
 	s.CombineOps = n.CombineOps.Load()
 	s.CacheHits = n.CacheHits.Load()
+	s.SharedReads = n.SharedReads.Load()
+	s.DedupedBytes = n.DedupedBytes.Load()
 	s.DecodeNanos = n.DecodeNanos.Load()
 	s.QueueWaitNanos = n.QueueWaitNanos.Load()
 	for p := 0; p < int(numPhases); p++ {
@@ -167,6 +177,8 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.AggOps += o.AggOps
 	s.CombineOps += o.CombineOps
 	s.CacheHits += o.CacheHits
+	s.SharedReads += o.SharedReads
+	s.DedupedBytes += o.DedupedBytes
 	s.DecodeNanos += o.DecodeNanos
 	s.QueueWaitNanos += o.QueueWaitNanos
 	for p := range s.PhaseNanos {
