@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check test-failure bench bench-cache bench-engine bench-sharedscan docs clean
+.PHONY: all build test race vet check test-failure bench bench-cache bench-engine bench-sharedscan bench-flow docs clean
 
 all: check
 
@@ -18,14 +18,16 @@ vet:
 
 # Failure-path tests: peer death, send timeouts, abort broadcast, dispatcher
 # late messages, the store fd-lifetime race, cache coherence under
-# concurrency, admission-control recovery, and shared-scan batches surviving
-# a member's abort — race-checked, bounded so a reintroduced hang fails fast.
+# concurrency, admission-control recovery, shared-scan batches surviving a
+# member's abort, and the flow-control/buffer-ownership sweep (credit windows
+# under failure, pool-balance leak checks, payload recycling on dead-peer
+# sends) — race-checked, bounded so a reintroduced hang fails fast.
 test-failure:
-	$(GO) test -race -timeout 120s -run 'Fail|Fault|Abort|Death|Late|Timeout|Malformed|Race|Admission|Compact|CacheConcurrent|Inflight|SharedBatch|SharedScan' ./internal/rpc/... ./internal/engine/... ./internal/backend/... ./internal/layout/...
+	$(GO) test -race -timeout 120s -run 'Fail|Fault|Abort|Death|Late|Timeout|Malformed|Race|Admission|Compact|CacheConcurrent|Inflight|SharedBatch|SharedScan|Flow|Credit|Leak|Recycles|Retires' ./internal/rpc/... ./internal/engine/... ./internal/backend/... ./internal/layout/...
 
 check: build vet test
 
-bench: bench-cache bench-engine bench-sharedscan
+bench: bench-cache bench-engine bench-sharedscan bench-flow
 	$(GO) run ./cmd/adr-bench -quick
 
 # Cache benchmark: cold vs warm disk reads for a repeated range-query sweep,
@@ -44,6 +46,13 @@ bench-engine:
 # full overlap dedups less than 30% of the reads.
 bench-sharedscan:
 	BENCH_JSON=BENCH_6.json $(GO) test -run '^$$' -bench SharedScanOverlap -benchtime 1x .
+
+# Flow-control benchmark: skewed fan-in under a 64 KiB forwarding window,
+# summarized into BENCH_7.json. Fails if the peak in-flight bytes exceed the
+# window plus one frame, or if the window costs the balanced workload more
+# than 1.5x wall time.
+bench-flow:
+	BENCH_JSON=BENCH_7.json $(GO) test -run '^$$' -bench ForwardBackpressure -benchtime 1x .
 
 # Documentation checks: README flag tables vs registered flags, markdown
 # links and DESIGN.md section cross-references, and the godoc package-

@@ -25,10 +25,12 @@ import (
 
 	"adr/internal/decluster"
 	"adr/internal/emulator"
+	"adr/internal/engine"
 	"adr/internal/experiments"
 	"adr/internal/index"
 	"adr/internal/metrics"
 	"adr/internal/plan"
+	"adr/internal/rpc"
 	"adr/internal/simadr"
 	"adr/internal/space"
 )
@@ -850,11 +852,11 @@ func BenchmarkSharedScanOverlap(b *testing.B) {
 
 	if path := os.Getenv("BENCH_JSON"); path != "" {
 		out := map[string]any{
-			"benchmark":         "SharedScanOverlap",
-			"nodes":             4,
-			"queries_per_batch": 2,
-			"batch_window_ms":   250,
-			"overlaps":          rows,
+			"benchmark":              "SharedScanOverlap",
+			"nodes":                  4,
+			"queries_per_batch":      2,
+			"batch_window_ms":        250,
+			"overlaps":               rows,
 			"full_overlap_dedup_pct": full.DedupPct,
 			"batched_pair_wall_ns":   batchedWall.Nanoseconds(),
 		}
@@ -869,5 +871,203 @@ func BenchmarkSharedScanOverlap(b *testing.B) {
 	if full.DedupPct < 30 {
 		b.Fatalf("shared scan ineffective: %d batched disk reads vs %d serial (%.1f%% dedup, want >= 30%%)",
 			full.BatchedDiskReads, full.SerialDiskReads, full.DedupPct)
+	}
+}
+
+// BenchmarkForwardBackpressure measures the credit-based flow control on the
+// workload it exists for: skewed fan-in, where DA forwards every node's
+// input chunks to a single output home. Without a window the fast senders
+// park the whole dataset in the receiver's queues; with one, the peak
+// in-flight bytes on any (sender, receiver) link must stay within the
+// configured window plus at most one oversized frame. The balanced leg then
+// runs an evenly spread workload with and without flow control and fails if
+// the window costs more than 1.5x wall time when it should never bind. With
+// BENCH_JSON set, a JSON summary is written to that path.
+func BenchmarkForwardBackpressure(b *testing.B) {
+	const (
+		nodes  = 4
+		window = int64(64 << 10)
+		budget = int64(256 << 10)
+	)
+	region := adr.R(0, 256, 0, 256)
+
+	// loadRepo builds a 4-node farm with 16x16 input chunks and an output
+	// grid of outCells x outCells chunks: 1 concentrates every forward on the
+	// single output's home node (skewed fan-in), 4 spreads them evenly.
+	loadRepo := func(outCells int) (*adr.Repository, *plan.Plan, *plan.Workload, int64) {
+		repo, err := adr.NewRepository(adr.Options{Nodes: nodes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(29))
+		items := make([]adr.Item, 65536)
+		for i := range items {
+			items[i] = adr.Item{
+				Coord: adr.Pt(rng.Float64()*256, rng.Float64()*256),
+				Value: adr.EncodeValue(int64(i)),
+			}
+		}
+		grid, err := adr.NewGrid(region, 16, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chunks, err := adr.PartitionGrid(items, grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := repo.LoadDataset("pts", adr.AttrSpace{Name: "in", Bounds: region}, chunks); err != nil {
+			b.Fatal(err)
+		}
+		outGrid, err := adr.NewGrid(region, outCells, outCells)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := repo.LoadDataset("img", adr.AttrSpace{Name: "out", Bounds: region}, adr.GridChunks(outGrid)); err != nil {
+			b.Fatal(err)
+		}
+		w, err := repo.BuildWorkload(&adr.Query{
+			Input: "pts", Output: "img", Strategy: adr.DA,
+			App: &adr.RasterApp{Op: adr.Sum, CellsPerDim: 4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		planner, err := plan.NewPlanner(repo.Machine())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := planner.Plan(plan.DA, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var maxFrame int64
+		for _, m := range w.Inputs {
+			if m.Bytes > maxFrame {
+				maxFrame = m.Bytes
+			}
+		}
+		return repo, p, w, maxFrame
+	}
+
+	// runOnce executes the plan over a fresh fabric and reports the wall time
+	// and the fabric's flow high-water mark.
+	runOnce := func(repo *adr.Repository, p *plan.Plan, w *plan.Workload, opts rpc.InprocOptions) (time.Duration, int64) {
+		fabric, err := rpc.NewInprocFabricOpts(p.Machine.Procs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fabric.Close()
+		cfg := engine.Config{
+			Plan: p, Workload: w,
+			App:            &adr.RasterApp{Op: adr.Sum, CellsPerDim: 4},
+			InputDataset:   "pts",
+			Workers:        4,
+			FwdWindowBytes: opts.FwdWindowBytes,
+			FwdBudgetBytes: opts.FwdBudgetBytes,
+			OnResult:       func(rpc.NodeID, *adr.Chunk) error { return nil },
+		}
+		start := time.Now()
+		if _, err := engine.Run(context.Background(), cfg, fabric, engine.FarmStorage{Farm: repo.Farm()}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start), fabric.FlowHighWater()
+	}
+	// best runs a cell three times and keeps the fastest wall, the stablest
+	// point estimate for a millisecond-scale query.
+	best := func(repo *adr.Repository, p *plan.Plan, w *plan.Workload, opts rpc.InprocOptions) (time.Duration, int64) {
+		bestWall, peak := time.Duration(0), int64(0)
+		for i := 0; i < 3; i++ {
+			wall, hw := runOnce(repo, p, w, opts)
+			if bestWall == 0 || wall < bestWall {
+				bestWall = wall
+			}
+			if hw > peak {
+				peak = hw
+			}
+		}
+		return bestWall, peak
+	}
+
+	stalls := metrics.Default.Counter(`adr_rpc_credit_stalls_total{transport="inproc"}`)
+	flowOpts := rpc.InprocOptions{FwdWindowBytes: window, FwdBudgetBytes: budget}
+
+	// Skewed fan-in: every forward converges on one node. The window must
+	// bound the peak in-flight bytes; without it the peak is unbounded (in
+	// practice the whole per-sender share of the dataset).
+	skewRepo, skewPlan, skewW, maxFrame := loadRepo(1)
+	defer skewRepo.Close()
+	stallsBefore := stalls.Value()
+	var skewFlowWall, skewBareWall time.Duration
+	var skewPeak, skewBarePeak int64
+	b.Run("skewed/window=64KiB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			skewFlowWall, skewPeak = best(skewRepo, skewPlan, skewW, flowOpts)
+		}
+		b.ReportMetric(float64(skewPeak), "peak-inflight-B")
+		b.ReportMetric(float64(window+maxFrame), "bound-B")
+		if skewPeak == 0 {
+			b.Fatal("flow control never engaged: zero in-flight high water")
+		}
+		if skewPeak > window+maxFrame {
+			b.Fatalf("peak in-flight %d B exceeds window %d B + max frame %d B",
+				skewPeak, window, maxFrame)
+		}
+	})
+	skewStalls := stalls.Value() - stallsBefore
+	b.Run("skewed/unbounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			skewBareWall, skewBarePeak = best(skewRepo, skewPlan, skewW, rpc.InprocOptions{})
+		}
+	})
+
+	// Balanced workload: forwards spread across all peers, so a 64 KiB window
+	// should rarely bind and must not cost real throughput.
+	balRepo, balPlan, balW, _ := loadRepo(4)
+	defer balRepo.Close()
+	var balFlowWall, balBareWall time.Duration
+	b.Run("balanced/window=64KiB", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			balFlowWall, _ = best(balRepo, balPlan, balW, flowOpts)
+		}
+		b.ReportMetric(float64(balFlowWall.Nanoseconds())/1e6, "wall-ms")
+	})
+	b.Run("balanced/unbounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			balBareWall, _ = best(balRepo, balPlan, balW, rpc.InprocOptions{})
+		}
+		b.ReportMetric(float64(balBareWall.Nanoseconds())/1e6, "wall-ms")
+	})
+
+	if balFlowWall == 0 || balBareWall == 0 || skewFlowWall == 0 {
+		return // a -bench filter selected a subset; nothing to compare
+	}
+	ratio := float64(balFlowWall) / float64(balBareWall)
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		out := map[string]any{
+			"benchmark":                "ForwardBackpressure",
+			"nodes":                    nodes,
+			"fwd_window_bytes":         window,
+			"fwd_budget_bytes":         budget,
+			"max_frame_bytes":          maxFrame,
+			"skewed_peak_inflight":     skewPeak,
+			"skewed_peak_unbounded":    skewBarePeak,
+			"skewed_credit_stalls":     skewStalls,
+			"skewed_wall_ns":           skewFlowWall.Nanoseconds(),
+			"skewed_wall_unbounded_ns": skewBareWall.Nanoseconds(),
+			"balanced_wall_ns":         balFlowWall.Nanoseconds(),
+			"balanced_wall_unbound_ns": balBareWall.Nanoseconds(),
+			"balanced_overhead_ratio":  ratio,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if ratio > 1.5 {
+		b.Fatalf("flow control regressed the balanced workload: %.2fx wall time (%v vs %v)",
+			ratio, balFlowWall, balBareWall)
 	}
 }

@@ -44,6 +44,8 @@ type options struct {
 	workers      *int
 	batchWindow  *time.Duration
 	maxBatch     *int
+	fwdWindow    *int64
+	fwdBudget    *int64
 }
 
 // registerFlags declares the daemon's full flag set on fs.
@@ -63,6 +65,8 @@ func registerFlags(fs *flag.FlagSet) *options {
 		workers:      fs.Int("workers", 0, "decode+aggregate workers per query (0 = GOMAXPROCS)"),
 		batchWindow:  fs.Duration("batch-window", 0, "shared-scan batching window: queries admitted within it dedup overlapping reads (0 disables)"),
 		maxBatch:     fs.Int("max-batch", 8, "max queries per shared-scan batch (effective with -batch-window > 0)"),
+		fwdWindow:    fs.Int64("fwd-window-bytes", 0, "per-peer in-flight forwarded-byte window; senders block until receivers consume (0 disables)"),
+		fwdBudget:    fs.Int64("fwd-budget-bytes", 0, "node-wide in-flight forwarded-byte budget across all peers (0 disables)"),
 	}
 }
 
@@ -86,19 +90,21 @@ func main() {
 	}
 
 	srv, err := backend.Start(backend.Config{
-		Node:         rpc.NodeID(*id),
-		MeshAddrs:    addrs,
-		ControlAddr:  *control,
-		DataDir:      *dataDir,
-		AccMemBytes:  *opt.accmem,
-		SendTimeout:  *opt.sendTimeout,
-		DialRetry:    *opt.dialRetry,
-		QueryTimeout: *opt.queryTimeout,
-		CacheBytes:   *cacheBytes,
-		MaxQueries:   *maxQueries,
-		Workers:      *opt.workers,
-		BatchWindow:  *opt.batchWindow,
-		MaxBatch:     *opt.maxBatch,
+		Node:           rpc.NodeID(*id),
+		MeshAddrs:      addrs,
+		ControlAddr:    *control,
+		DataDir:        *dataDir,
+		AccMemBytes:    *opt.accmem,
+		SendTimeout:    *opt.sendTimeout,
+		DialRetry:      *opt.dialRetry,
+		QueryTimeout:   *opt.queryTimeout,
+		CacheBytes:     *cacheBytes,
+		MaxQueries:     *maxQueries,
+		Workers:        *opt.workers,
+		BatchWindow:    *opt.batchWindow,
+		MaxBatch:       *opt.maxBatch,
+		FwdWindowBytes: *opt.fwdWindow,
+		FwdBudgetBytes: *opt.fwdBudget,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adr-node:", err)
@@ -110,6 +116,9 @@ func main() {
 	}
 	if *opt.batchWindow > 0 {
 		fmt.Printf("adr-node %d: shared scans on: window %v, max batch %d\n", *id, *opt.batchWindow, *opt.maxBatch)
+	}
+	if *opt.fwdWindow > 0 || *opt.fwdBudget > 0 {
+		fmt.Printf("adr-node %d: forwarding flow control: window %d B/peer, budget %d B\n", *id, *opt.fwdWindow, *opt.fwdBudget)
 	}
 
 	if *metricsAddr != "" {

@@ -80,6 +80,15 @@ type Config struct {
 	// (engine.Config.Workers); <= 0 lets the engine default to
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// FwdWindowBytes, when > 0, bounds this node's in-flight forwarded bytes
+	// toward any single mesh peer: every chunk payload is charged against
+	// the destination's credit window and the sender blocks until the
+	// receiving engine consumes earlier payloads (credits return over the
+	// wire as the receiver releases them). FwdBudgetBytes likewise bounds
+	// the node's total in-flight bytes across all peers. 0 disables each.
+	// Must be identical on every node, like AccMemBytes.
+	FwdWindowBytes int64
+	FwdBudgetBytes int64
 }
 
 // DefaultRequestTimeout is how long a fresh control connection may take to
@@ -142,8 +151,10 @@ func Start(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("backend: control listen: %w", err)
 	}
 	mesh, err := rpc.NewTCPNode(cfg.Node, cfg.MeshAddrs, rpc.TCPOptions{
-		SendTimeout: cfg.SendTimeout,
-		DialRetry:   cfg.DialRetry,
+		SendTimeout:    cfg.SendTimeout,
+		DialRetry:      cfg.DialRetry,
+		FwdWindowBytes: cfg.FwdWindowBytes,
+		FwdBudgetBytes: cfg.FwdBudgetBytes,
 	})
 	if err != nil {
 		ctrl.Close()
@@ -376,13 +387,15 @@ func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace met
 
 	var streamMu sync.Mutex
 	cfg := engine.Config{
-		Plan:          p,
-		Workload:      workload,
-		App:           app,
-		InputDataset:  spec.Input,
-		OutputDataset: spec.Output,
-		ResultDataset: spec.ResultDataset,
-		Workers:       s.cfg.Workers,
+		Plan:           p,
+		Workload:       workload,
+		App:            app,
+		InputDataset:   spec.Input,
+		OutputDataset:  spec.Output,
+		ResultDataset:  spec.ResultDataset,
+		Workers:        s.cfg.Workers,
+		FwdWindowBytes: s.cfg.FwdWindowBytes,
+		FwdBudgetBytes: s.cfg.FwdBudgetBytes,
 		OnResult: func(node rpc.NodeID, c *chunk.Chunk) error {
 			streamMu.Lock()
 			defer streamMu.Unlock()

@@ -17,7 +17,12 @@
 //
 // Reuse is observable as the adr_engine_pool_hits_total /
 // adr_engine_pool_misses_total counter pair: hits are Gets served by a
-// recycled buffer, misses are Gets that had to allocate.
+// recycled buffer, misses are Gets that had to allocate. The pool also keeps
+// a balance sheet: adr_bufpool_outstanding is the number of class-sized
+// buffers currently checked out (Get minus Put minus Disown). A process at
+// rest should read 0 (or its steady-state working set); a counter that only
+// grows is a leaked-ownership bug, which is exactly what the engine's
+// buffer-leak tests assert on.
 package bufpool
 
 import (
@@ -29,6 +34,10 @@ import (
 var (
 	hits   = metrics.Default.Counter("adr_engine_pool_hits_total")
 	misses = metrics.Default.Counter("adr_engine_pool_misses_total")
+	// outstanding tracks checked-out class-sized buffers. Requests outside
+	// the pooled range never enter the balance (they are plain allocations
+	// the GC owns from the start).
+	outstanding = metrics.Default.Gauge("adr_bufpool_outstanding")
 )
 
 // Size classes: 1 KiB up to 64 MiB (rpc.MaxFrameBytes). Requests above the
@@ -67,6 +76,7 @@ func Get(n int) []byte {
 		misses.Inc()
 		return make([]byte, n)
 	}
+	outstanding.Inc()
 	if v := pools[c].Get(); v != nil {
 		hits.Inc()
 		b := *(v.(*[]byte))
@@ -76,24 +86,53 @@ func Get(n int) []byte {
 	return make([]byte, n, 1<<(minClassBits+c))
 }
 
+// isClassSized reports whether b's capacity is exactly one of the pool's
+// size classes — the test both Put and Disown use to decide whether b is
+// part of the outstanding balance.
+func isClassSized(b []byte) bool {
+	c := cap(b)
+	if c < 1<<minClassBits || c&(c-1) != 0 {
+		return false
+	}
+	cls := classFor(c)
+	return cls >= 0 && 1<<(minClassBits+cls) == c
+}
+
 // Put recycles a buffer obtained from Get. Buffers whose capacity is not an
 // exact size class (foreign allocations, subslices) are dropped to the GC.
 // The caller must not use b after Put.
 func Put(b []byte) {
+	if !isClassSized(b) {
+		return
+	}
+	outstanding.Dec()
 	c := cap(b)
-	if c < 1<<minClassBits || c&(c-1) != 0 {
-		return
-	}
-	cls := classFor(c)
-	if cls < 0 || 1<<(minClassBits+cls) != c {
-		return
-	}
 	b = b[:c]
-	pools[cls].Put(&b)
+	pools[classFor(c)].Put(&b)
+}
+
+// Disown removes a checked-out buffer from the outstanding balance without
+// recycling it: the buffer's ownership passes to the GC (and to whatever
+// long-lived structure retains it, e.g. a decoded result chunk whose item
+// values alias the bytes). Use it when a buffer legitimately outlives the
+// pool's get/put cycle, so leak accounting stays exact. The caller may keep
+// using b; it just must never Put it afterwards.
+func Disown(b []byte) {
+	if isClassSized(b) {
+		outstanding.Dec()
+	}
 }
 
 // Stats returns the cumulative hit and miss counts, for tests and
 // diagnostics; the same values are exported on /metrics.
 func Stats() (h, m int64) {
 	return hits.Value(), misses.Value()
+}
+
+// Outstanding returns the number of class-sized buffers currently checked
+// out (Get minus Put minus Disown) — the balance the buffer-leak tests
+// compare before and after a run. Exported on /metrics as
+// adr_bufpool_outstanding.
+func Outstanding() int64 {
+	return outstanding.Value()
 }

@@ -52,6 +52,14 @@ type Options struct {
 	// MaxBatch caps the queries grouped into one shared-scan batch; <= 0
 	// selects engine.DefaultMaxBatch. Only consulted when BatchWindow > 0.
 	MaxBatch int
+	// FwdWindowBytes, when > 0, bounds each node's in-flight forwarded
+	// bytes toward any single peer: the fabric charges every chunk payload
+	// against the destination's credit window and senders block until the
+	// receiving engine consumes earlier payloads. FwdBudgetBytes likewise
+	// bounds one node's in-flight bytes across all peers. 0 disables each
+	// (the historical unbounded behaviour).
+	FwdWindowBytes int64
+	FwdBudgetBytes int64
 }
 
 // DefaultAccMemBytes is the per-processor accumulator memory used when the
@@ -67,6 +75,10 @@ type Repository struct {
 	farm     *layout.Farm
 	machine  plan.Machine
 	workers  int
+	// fwdWindow/fwdBudget configure the fabric's forwarding flow control
+	// for every query this repository executes (0 = disabled).
+	fwdWindow int64
+	fwdBudget int64
 	// scans, when non-nil, holds one shared-scan scheduler per in-process
 	// node; concurrent Execute calls join them so overlapping reads dedup.
 	scans []*engine.SharedScan
@@ -102,11 +114,13 @@ func NewRepository(opts Options) (*Repository, error) {
 		farm.WithCache(layout.NewChunkCache(opts.CacheBytes))
 	}
 	r := &Repository{
-		registry: space.NewRegistry(),
-		farm:     farm,
-		machine:  plan.Machine{Procs: opts.Nodes, AccMemBytes: opts.AccMemBytes},
-		workers:  opts.Workers,
-		datasets: make(map[string]*layout.Dataset),
+		registry:  space.NewRegistry(),
+		farm:      farm,
+		machine:   plan.Machine{Procs: opts.Nodes, AccMemBytes: opts.AccMemBytes},
+		workers:   opts.Workers,
+		fwdWindow: opts.FwdWindowBytes,
+		fwdBudget: opts.FwdBudgetBytes,
+		datasets:  make(map[string]*layout.Dataset),
 	}
 	if opts.BatchWindow > 0 {
 		r.scans = make([]*engine.SharedScan, opts.Nodes)
@@ -347,7 +361,10 @@ func (r *Repository) Execute(ctx context.Context, q *Query) (*Result, error) {
 		return nil, err
 	}
 
-	fabric, err := rpc.NewInprocFabric(r.machine.Procs, 0)
+	fabric, err := rpc.NewInprocFabricOpts(r.machine.Procs, rpc.InprocOptions{
+		FwdWindowBytes: r.fwdWindow,
+		FwdBudgetBytes: r.fwdBudget,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -361,13 +378,15 @@ func (r *Repository) Execute(ctx context.Context, q *Query) (*Result, error) {
 	}
 
 	cfg := engine.Config{
-		Plan:          p,
-		Workload:      w,
-		App:           q.App,
-		InputDataset:  q.Input,
-		OutputDataset: q.Output,
-		ResultDataset: q.ResultDataset,
-		Workers:       r.workers,
+		Plan:           p,
+		Workload:       w,
+		App:            q.App,
+		InputDataset:   q.Input,
+		OutputDataset:  q.Output,
+		ResultDataset:  q.ResultDataset,
+		Workers:        r.workers,
+		FwdWindowBytes: r.fwdWindow,
+		FwdBudgetBytes: r.fwdBudget,
 		OnResult: func(node rpc.NodeID, c *chunk.Chunk) error {
 			mu.Lock()
 			defer mu.Unlock()

@@ -44,9 +44,12 @@ func (n *node) abortPeers(t int32, cause error) {
 		if rpc.NodeID(q) == n.self {
 			continue
 		}
+		// Urgent: the abort must go out even when the destination's credit
+		// window is exhausted — failure propagation cannot be allowed to
+		// stall behind the very backpressure the failing query caused.
 		n.ep.Send(rpc.Message{
 			Src: n.self, Dst: rpc.NodeID(q), Type: msgAbort, Tile: t,
-			Payload: payload,
+			Payload: payload, Urgent: true,
 		})
 	}
 }

@@ -116,6 +116,17 @@ type Config struct {
 	// (SharedScan.Join before the run, ScanMember.Leave after).
 	Shared func(node rpc.NodeID) *ScanMember
 
+	// FwdWindowBytes and FwdBudgetBytes record the fabric's flow-control
+	// configuration: the per-peer in-flight byte window and the per-node
+	// forwarding budget (0 disables each; see rpc.InprocOptions /
+	// rpc.TCPOptions, where the same values configure the transport). The
+	// engine itself does not gate on them — the transport does — but carries
+	// them so traces and reports can be interpreted against the windows the
+	// query ran under, and Validate rejects inconsistent values before a
+	// node starts.
+	FwdWindowBytes int64
+	FwdBudgetBytes int64
+
 	// Workers is the per-node execution-pipeline width: how many goroutines
 	// decode and aggregate chunks concurrently during local reduction and
 	// global combine. <= 0 selects runtime.GOMAXPROCS(0). Any width produces
@@ -157,6 +168,14 @@ func (c *Config) Validate() error {
 	}
 	if c.ResultDataset == "" && c.OnResult == nil {
 		return fmt.Errorf("engine: results have nowhere to go: set ResultDataset and/or OnResult")
+	}
+	if c.FwdWindowBytes < 0 || c.FwdBudgetBytes < 0 {
+		return fmt.Errorf("engine: negative flow-control bytes (window %d, budget %d)",
+			c.FwdWindowBytes, c.FwdBudgetBytes)
+	}
+	if c.FwdWindowBytes > 0 && c.FwdBudgetBytes > 0 && c.FwdBudgetBytes < c.FwdWindowBytes {
+		return fmt.Errorf("engine: forwarding budget %d smaller than one peer window %d",
+			c.FwdBudgetBytes, c.FwdWindowBytes)
 	}
 	return plan.Verify(c.Plan, c.Workload)
 }

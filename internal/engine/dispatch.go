@@ -97,6 +97,9 @@ func (d *Dispatcher) run(ctx context.Context) {
 		d.mu.Lock()
 		if d.released[m.Query] {
 			d.mu.Unlock()
+			// Retire the straggler: its sender's flow-control credit returns
+			// and a pooled payload recycles, instead of leaking with the drop.
+			m.Release()
 			lateMsgs.Inc()
 			continue
 		}
@@ -171,18 +174,25 @@ func (s *queryStats) snapshot(query int32) DispatchStats {
 	}
 }
 
-// Release drops a finished query's buffers. Messages for the query that
-// arrive later are dropped and counted in adr_dispatch_late_msgs_total
-// rather than re-creating the queue.
+// Release drops a finished query's buffers: messages still pending are
+// retired (credits back to their senders, pooled payloads recycled), and
+// messages for the query that arrive later are dropped and counted in
+// adr_dispatch_late_msgs_total rather than re-creating the queue.
 func (d *Dispatcher) Release(query int32) {
 	d.mu.Lock()
+	var orphans []rpc.Message
 	if q, ok := d.queues[query]; ok {
 		q.closed = true
+		orphans = q.pending
+		q.pending = nil
 		q.cond.Broadcast()
 		delete(d.queues, query)
 	}
 	d.released[query] = true
 	d.mu.Unlock()
+	for i := range orphans {
+		orphans[i].Release()
+	}
 }
 
 // Close stops routing and closes the underlying endpoint.

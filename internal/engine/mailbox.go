@@ -54,8 +54,11 @@ func (m *mailbox) run(ctx context.Context, ep rpc.Endpoint) {
 func (m *mailbox) put(msg rpc.Message) {
 	if uint8(msg.Type) == msgAbort {
 		// A peer failed and is telling the mesh: terminate, carrying who and
-		// why, regardless of which tile either side is in.
-		m.fail(&AbortError{Node: msg.Src, Reason: string(msg.Payload)})
+		// why, regardless of which tile either side is in. The reason string
+		// copies the payload, so the message retires here.
+		err := &AbortError{Node: msg.Src, Reason: string(msg.Payload)}
+		msg.Release()
+		m.fail(err)
 		return
 	}
 	k := mboxKey{tile: msg.Tile, typ: uint8(msg.Type)}
@@ -76,6 +79,23 @@ func (m *mailbox) fail(err error) {
 	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
+}
+
+// drain releases every pending message — flow-control credits return to
+// their senders and pooled payloads recycle. Called by the node's teardown
+// after the receiver goroutine has exited; anything still buffered at that
+// point will never be taken (the query is over or aborted), and holding it
+// would leak the senders' credit windows and the bufpool balance.
+func (m *mailbox) drain() {
+	m.mu.Lock()
+	pending := m.pending
+	m.pending = make(map[mboxKey][]rpc.Message)
+	m.mu.Unlock()
+	for _, q := range pending {
+		for i := range q {
+			q[i].Release()
+		}
+	}
 }
 
 // take blocks until a message of the given tile and type is available, the

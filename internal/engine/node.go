@@ -20,6 +20,10 @@ type node struct {
 	st   ChunkStorage
 	met  *metrics.Node
 	mbox *mailbox
+	// onStall attributes flow-control credit stalls to this node's trace;
+	// installed on every outbound message (one shared closure, so the send
+	// hot path does not allocate one per message).
+	onStall func(time.Duration)
 	// scan is this node's shared-scan membership (nil outside a batch):
 	// readChunk routes demand-registered reads through it so overlapping
 	// concurrent queries fetch each chunk once.
@@ -87,12 +91,38 @@ func runNode(ctx context.Context, cfg Config, ep rpc.Endpoint, st ChunkStorage) 
 	if cfg.Shared != nil {
 		n.scan = cfg.Shared(n.self)
 	}
+	n.onStall = func(d time.Duration) {
+		n.met.CreditStalls.Add(1)
+		n.met.CreditStallNanos.Add(d.Nanoseconds())
+	}
 	n.prepare()
 	defer n.recordTotals()
 
 	rctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	go n.mbox.run(rctx, ep)
+	mboxDone := make(chan struct{})
+	go func() {
+		defer close(mboxDone)
+		n.mbox.run(rctx, ep)
+	}()
+	defer func() {
+		// Teardown drain: stop the receiver, then retire everything this node
+		// received but never consumed — mailbox buffers first, then whatever
+		// is still queued in the transport (Recv hands out buffered messages
+		// even on a dead context). Each release returns the sender's
+		// flow-control credit, so a peer blocked on this node's window makes
+		// progress even when this node aborts mid-query, and recycles pooled
+		// payloads so the bufpool balance stays exact through failures.
+		cancel()
+		<-mboxDone
+		n.mbox.drain()
+		for {
+			m, err := ep.Recv(rctx)
+			if err != nil {
+				break
+			}
+			m.Release()
+		}
+	}()
 
 	for t := range cfg.Plan.Tiles {
 		if err := ctx.Err(); err != nil {
@@ -257,69 +287,100 @@ func (n *node) runTile(ctx context.Context, t int32) error {
 
 // phaseInit allocates and initializes the accumulator chunks this node
 // holds for the tile (locals it homes plus ghosts), retrieving and
-// forwarding existing output chunks when the app requires them.
+// forwarding existing output chunks when the app requires them. Owner sends
+// run on their own goroutine, overlapped with the replica receives: on a
+// flow-controlled fabric a send can block on credit, and a mesh where every
+// owner sent before anyone received would deadlock the moment the windows
+// are smaller than the tile's init traffic.
 func (n *node) phaseInit(ctx context.Context, t int32) (map[int32]Accumulator, error) {
 	p, w := n.cfg.Plan, n.cfg.Workload
 	tile := &p.Tiles[t]
 	needInit := n.cfg.App.InitRequiresOutput()
 	existing := make(map[int32]*chunk.Chunk)
 
+	// initMsgs holds received init messages alive while the decoded chunks
+	// alias their payloads; they are released the moment the App.Init loop
+	// has copied what it needs (and on every error path out of the phase).
+	var initMsgs []rpc.Message
+	defer func() {
+		for i := range initMsgs {
+			initMsgs[i].Release()
+		}
+	}()
+
 	if needInit {
 		// Owner duties: read each owned output chunk in the tile from local
 		// disk and forward it to every other holder of a replica.
-		for _, o := range tile.Outputs {
-			if rpc.NodeID(w.Outputs[o].Node) != n.self {
-				continue
-			}
-			var payload []byte
-			if n.st.HasChunk(n.cfg.OutputDataset, w.Outputs[o]) {
-				data, hit, err := n.readChunk(ctx, n.cfg.OutputDataset, w.Outputs[o])
-				if err != nil {
-					return nil, fmt.Errorf("read existing output %d: %w", o, err)
+		ownerExisting := make(map[int32]*chunk.Chunk)
+		sendErr := make(chan error, 1)
+		go func() {
+			sendErr <- func() error {
+				for _, o := range tile.Outputs {
+					if rpc.NodeID(w.Outputs[o].Node) != n.self {
+						continue
+					}
+					var payload []byte
+					if n.st.HasChunk(n.cfg.OutputDataset, w.Outputs[o]) {
+						data, hit, err := n.readChunk(ctx, n.cfg.OutputDataset, w.Outputs[o])
+						if err != nil {
+							return fmt.Errorf("read existing output %d: %w", o, err)
+						}
+						n.met.AddRead(metrics.Initialization, int64(len(data)))
+						if hit {
+							n.met.CacheHits.Add(1)
+						}
+						payload = data
+						c, err := chunk.Decode(data)
+						if err != nil {
+							return fmt.Errorf("decode existing output %d: %w", o, err)
+						}
+						ownerExisting[o] = c
+					}
+					for _, h := range n.holders[t][o] {
+						if h == n.self {
+							continue
+						}
+						if err := n.send(metrics.Initialization, rpc.Message{
+							Src: n.self, Dst: h, Type: msgOutputInit, Tile: t, Seq: o,
+							Payload: payload,
+						}); err != nil {
+							return err
+						}
+					}
 				}
-				n.met.AddRead(metrics.Initialization, int64(len(data)))
-				if hit {
-					n.met.CacheHits.Add(1)
-				}
-				payload = data
-				c, err := chunk.Decode(data)
-				if err != nil {
-					return nil, fmt.Errorf("decode existing output %d: %w", o, err)
-				}
-				existing[o] = c
-			}
-			for _, h := range n.holders[t][o] {
-				if h == n.self {
-					continue
-				}
-				if err := n.send(metrics.Initialization, rpc.Message{
-					Src: n.self, Dst: h, Type: msgOutputInit, Tile: t, Seq: o,
-					Payload: payload,
-				}); err != nil {
-					return nil, err
-				}
-			}
-		}
+				return nil
+			}()
+		}()
+
 		// Replica duties: receive existing chunks for allocations whose
-		// owner is remote. Pooled payloads stay referenced by the decoded
-		// chunks (item values alias them) until Init has copied what it
-		// needs, so they are recycled only after the init loop below.
+		// owner is remote, concurrently with the owner sends above.
+		var recvErr error
 		for k := 0; k < n.expect[t].outputInits; k++ {
 			msg, err := n.mbox.take(ctx, t, msgOutputInit)
 			if err != nil {
-				return nil, err
+				recvErr = err
+				break
 			}
 			n.noteRecv(metrics.Initialization, msg)
-			if msg.Pooled {
-				defer bufpool.Put(msg.Payload)
-			}
+			initMsgs = append(initMsgs, msg)
 			if len(msg.Payload) > 0 {
 				c, err := chunk.Decode(msg.Payload)
 				if err != nil {
-					return nil, fmt.Errorf("decode output-init %d: %w", msg.Seq, err)
+					recvErr = fmt.Errorf("decode output-init %d: %w", msg.Seq, err)
+					break
 				}
 				existing[msg.Seq] = c
 			}
+		}
+		if err := <-sendErr; err != nil {
+			return nil, err
+		}
+		if recvErr != nil {
+			return nil, recvErr
+		}
+		// The sender goroutine has exited; merging its reads is race-free.
+		for o, c := range ownerExisting {
+			existing[o] = c
 		}
 	}
 
@@ -340,6 +401,8 @@ func (n *node) phaseInit(ctx context.Context, t int32) (map[int32]Accumulator, e
 		accs[o] = acc
 	}
 	n.met.AddPhase(metrics.Initialization, time.Since(start))
+	// Init copies what it keeps, so the deferred release of initMsgs (credits
+	// back to the owners, pooled payloads recycled) is safe from here on.
 	return accs, nil
 }
 
@@ -391,19 +454,7 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 
 	pl := newPool(ctx, n.cfg.workers(), n.met, func(wk work) error {
 		kind := "input"
-		if wk.local {
-			// Forward before aggregating so remote homes can overlap their
-			// own processing with ours (the chunk buffer is shared: storage
-			// data is immutable here, the zero-copy path §2.4 argues for).
-			for _, dst := range n.fwdByInput[t][wk.seq] {
-				if err := n.send(metrics.LocalReduction, rpc.Message{
-					Src: n.self, Dst: dst, Type: msgInputChunk, Tile: t, Seq: wk.seq,
-					Payload: wk.data,
-				}); err != nil {
-					return err
-				}
-			}
-		} else {
+		if !wk.local {
 			kind = "forwarded input"
 		}
 		ds := time.Now()
@@ -433,6 +484,38 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 		}
 		return nil
 	})
+
+	// Forwarder: one goroutine issuing every msgInputChunk send of the
+	// phase. Sends moved off the pool workers when flow control arrived —
+	// a worker blocked on credit would stop draining inbound chunks, and
+	// consuming inbound traffic is exactly what returns credit to the
+	// peers; two nodes forwarding to each other would deadlock. The
+	// bounded channel propagates backpressure the rest of the way: when
+	// the forwarder stalls on credit the channel fills, the prefetchers
+	// block on it, and the disk reads (and the shared-scan leader behind
+	// them) slow to the receivers' consumption rate.
+	fwdCh := make(chan work, depth)
+	var fwdWg sync.WaitGroup
+	if len(n.fwdByInput[t]) > 0 {
+		fwdWg.Add(1)
+		go func() {
+			defer fwdWg.Done()
+			for wk := range fwdCh {
+				for _, dst := range n.fwdByInput[t][wk.seq] {
+					if err := n.send(metrics.LocalReduction, rpc.Message{
+						Src: n.self, Dst: dst, Type: msgInputChunk, Tile: t, Seq: wk.seq,
+						Payload: wk.data,
+					}); err != nil {
+						pl.fail(err)
+						// Keep draining so blocked prefetchers unstick.
+						for range fwdCh {
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
 
 	// Producers: one prefetcher per disk (retrieval order preserved within
 	// each disk) plus one feeder draining the tile's forwarded inputs.
@@ -471,7 +554,21 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 				if hit {
 					n.met.CacheHits.Add(1)
 				}
-				if !pl.submit(work{seq: i, data: data, hit: hit, local: true}) {
+				wk := work{seq: i, data: data, hit: hit, local: true}
+				// Hand the chunk to the forwarder before aggregating it so
+				// remote homes overlap their processing with ours (the buffer
+				// is shared: storage data is immutable here, the zero-copy
+				// path §2.4 argues for). The forwarder only ever reads the
+				// bytes, so the pool workers can aggregate concurrently.
+				if len(n.fwdByInput[t][i]) > 0 {
+					select {
+					case fwdCh <- wk:
+					case <-pl.ctx.Done():
+						pl.fail(pl.ctx.Err())
+						return
+					}
+				}
+				if !pl.submit(wk) {
 					return
 				}
 			}
@@ -488,13 +585,16 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 					return
 				}
 				n.noteRecv(metrics.LocalReduction, msg)
-				if !pl.submit(work{seq: msg.Seq, data: msg.Payload, pooled: msg.Pooled}) {
+				m := msg
+				if !pl.submit(work{seq: m.Seq, data: m.Payload, rel: m.Release}) {
 					return
 				}
 			}
 		}()
 	}
 	producers.Wait()
+	close(fwdCh)
+	fwdWg.Wait()
 	return pl.wait()
 }
 
@@ -507,113 +607,184 @@ func (n *node) phaseGlobalCombine(ctx context.Context, t int32, accs map[int32]A
 	p, w := n.cfg.Plan, n.cfg.Workload
 	tile := &p.Tiles[t]
 
-	// Ghost deletions below mutate accs; they complete before the pool's
-	// workers start reading the map.
+	// Ghost deletions mutate accs; they complete before the pool's workers
+	// (and the sender goroutine) start reading the map. The encode+send work
+	// itself then runs on its own goroutine, overlapped with the inbound
+	// combines below: a credit-blocked ghost send must not keep this node
+	// from consuming the ghosts its peers are sending it — consuming them is
+	// what returns the peers' credit.
+	type ghostOut struct {
+		o   int32
+		acc Accumulator
+	}
+	ghosts := make([]ghostOut, 0, len(tile.Ghosts[n.self]))
 	for _, o := range tile.Ghosts[n.self] {
-		start := time.Now()
-		data, err := n.cfg.App.EncodeAccum(accs[o], w.Outputs[o])
-		if err != nil {
-			return fmt.Errorf("encode ghost %d: %w", o, err)
-		}
-		n.met.AddPhase(metrics.GlobalCombine, time.Since(start))
-		if err := n.send(metrics.GlobalCombine, rpc.Message{
-			Src: n.self, Dst: rpc.NodeID(p.Home[o]), Type: msgGhostAccum, Tile: t, Seq: o,
-			Payload: data,
-		}); err != nil {
-			return err
-		}
+		ghosts = append(ghosts, ghostOut{o: o, acc: accs[o]})
 		delete(accs, o) // ghost memory is released after the send
 	}
+	sendErr := make(chan error, 1)
+	go func() {
+		sendErr <- func() error {
+			for _, g := range ghosts {
+				start := time.Now()
+				data, err := n.cfg.App.EncodeAccum(g.acc, w.Outputs[g.o])
+				if err != nil {
+					return fmt.Errorf("encode ghost %d: %w", g.o, err)
+				}
+				n.met.AddPhase(metrics.GlobalCombine, time.Since(start))
+				if err := n.send(metrics.GlobalCombine, rpc.Message{
+					Src: n.self, Dst: rpc.NodeID(p.Home[g.o]), Type: msgGhostAccum, Tile: t, Seq: g.o,
+					Payload: data,
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+	}()
 
-	if n.expect[t].ghostTotal == 0 {
-		return nil
+	var recvErr error
+	if n.expect[t].ghostTotal > 0 {
+		pl := newPool(ctx, n.cfg.workers(), n.met, func(wk work) error {
+			o := wk.seq
+			dst, ok := accs[o]
+			if !ok {
+				return fmt.Errorf("ghost for output %d arrived but no local accumulator", o)
+			}
+			ds := time.Now()
+			src, err := n.cfg.App.DecodeAccum(wk.data, w.Outputs[o])
+			n.met.DecodeNanos.Add(time.Since(ds).Nanoseconds())
+			if err != nil {
+				return fmt.Errorf("decode ghost %d: %w", o, err)
+			}
+			start := time.Now()
+			mu := locks[o]
+			mu.Lock()
+			err = n.cfg.App.Combine(dst, src, w.Outputs[o])
+			mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("combine ghost %d: %w", o, err)
+			}
+			n.met.CombineOps.Add(1)
+			n.met.AddPhase(metrics.GlobalCombine, time.Since(start))
+			return nil
+		})
+		for k := 0; k < n.expect[t].ghostTotal; k++ {
+			msg, err := n.mbox.take(pl.ctx, t, msgGhostAccum)
+			if err != nil {
+				pl.fail(err)
+				break
+			}
+			n.noteRecv(metrics.GlobalCombine, msg)
+			m := msg
+			if !pl.submit(work{seq: m.Seq, data: m.Payload, rel: m.Release}) {
+				break
+			}
+		}
+		recvErr = pl.wait()
 	}
-	pl := newPool(ctx, n.cfg.workers(), n.met, func(wk work) error {
-		o := wk.seq
-		dst, ok := accs[o]
-		if !ok {
-			return fmt.Errorf("ghost for output %d arrived but no local accumulator", o)
-		}
-		ds := time.Now()
-		src, err := n.cfg.App.DecodeAccum(wk.data, w.Outputs[o])
-		n.met.DecodeNanos.Add(time.Since(ds).Nanoseconds())
-		if err != nil {
-			return fmt.Errorf("decode ghost %d: %w", o, err)
-		}
-		start := time.Now()
-		mu := locks[o]
-		mu.Lock()
-		err = n.cfg.App.Combine(dst, src, w.Outputs[o])
-		mu.Unlock()
-		if err != nil {
-			return fmt.Errorf("combine ghost %d: %w", o, err)
-		}
-		n.met.CombineOps.Add(1)
-		n.met.AddPhase(metrics.GlobalCombine, time.Since(start))
-		return nil
-	})
-	for k := 0; k < n.expect[t].ghostTotal; k++ {
-		msg, err := n.mbox.take(pl.ctx, t, msgGhostAccum)
-		if err != nil {
-			pl.fail(err)
-			break
-		}
-		n.noteRecv(metrics.GlobalCombine, msg)
-		if !pl.submit(work{seq: msg.Seq, data: msg.Payload, pooled: msg.Pooled}) {
-			break
-		}
+	if err := <-sendErr; err != nil {
+		return err
 	}
-	return pl.wait()
+	return recvErr
 }
 
 // phaseOutput finalizes this node's homed accumulators into output chunks,
 // ships homed-away chunks to their owners, and emits everything this node
-// owns.
+// owns. Shipping runs on its own goroutine so a credit-blocked final-output
+// send never keeps this node from receiving (and releasing) the finals its
+// peers ship here; all emit calls — local outputs and shipped finals alike
+// — stay on the phase goroutine, so a result callback sees one node's
+// results serially, as before.
 func (n *node) phaseOutput(ctx context.Context, t int32, accs map[int32]Accumulator) error {
 	p, w := n.cfg.Plan, n.cfg.Workload
 	tile := &p.Tiles[t]
 
+	// Split the tile's locals by owner up front; accs is only read (never
+	// mutated) until both halves of the phase have finished.
+	var localOwned, remoteOwned []int32
 	for _, o := range tile.Locals[n.self] {
-		start := time.Now()
-		out, err := n.cfg.App.Output(accs[o], w.Outputs[o])
-		if err != nil {
-			return fmt.Errorf("output %d: %w", o, err)
+		if rpc.NodeID(w.Outputs[o].Node) != n.self {
+			remoteOwned = append(remoteOwned, o)
+		} else {
+			localOwned = append(localOwned, o)
 		}
-		n.finalizeMeta(out, o)
-		n.met.AddPhase(metrics.OutputHandling, time.Since(start))
-		owner := rpc.NodeID(w.Outputs[o].Node)
-		if owner != n.self {
-			// Encode into a pooled buffer: the TCP transport recycles it once
-			// the frame is written (in-process receivers just drop it to the
-			// GC, since their decoded chunk aliases the bytes).
-			payload := chunk.AppendTo(out, bufpool.Get(chunk.EncodedSize(out))[:0])
-			if err := n.send(metrics.OutputHandling, rpc.Message{
-				Src: n.self, Dst: owner, Type: msgFinalOutput, Tile: t, Seq: o,
-				Payload: payload, Pooled: true,
-			}); err != nil {
-				return err
-			}
-		} else if err := n.emit(out); err != nil {
-			return fmt.Errorf("emit output %d: %w", o, err)
-		}
-		delete(accs, o)
 	}
 
-	for k := 0; k < n.expect[t].finals; k++ {
-		msg, err := n.mbox.take(ctx, t, msgFinalOutput)
-		if err != nil {
-			return err
+	sendErr := make(chan error, 1)
+	go func() {
+		sendErr <- func() error {
+			for _, o := range remoteOwned {
+				start := time.Now()
+				out, err := n.cfg.App.Output(accs[o], w.Outputs[o])
+				if err != nil {
+					return fmt.Errorf("output %d: %w", o, err)
+				}
+				n.finalizeMeta(out, o)
+				n.met.AddPhase(metrics.OutputHandling, time.Since(start))
+				// Encode into a pooled buffer: the transport owns and recycles
+				// it — once the frame is on the wire for TCP, when the receiver
+				// releases it in-process.
+				payload := chunk.AppendTo(out, bufpool.Get(chunk.EncodedSize(out))[:0])
+				if err := n.send(metrics.OutputHandling, rpc.Message{
+					Src: n.self, Dst: rpc.NodeID(w.Outputs[o].Node), Type: msgFinalOutput, Tile: t, Seq: o,
+					Payload: payload, Pooled: true,
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+	}()
+
+	recvErr := func() error {
+		for _, o := range localOwned {
+			start := time.Now()
+			out, err := n.cfg.App.Output(accs[o], w.Outputs[o])
+			if err != nil {
+				return fmt.Errorf("output %d: %w", o, err)
+			}
+			n.finalizeMeta(out, o)
+			n.met.AddPhase(metrics.OutputHandling, time.Since(start))
+			if err := n.emit(out); err != nil {
+				return fmt.Errorf("emit output %d: %w", o, err)
+			}
 		}
-		n.noteRecv(metrics.OutputHandling, msg)
-		out, err := chunk.Decode(msg.Payload)
-		if err != nil {
-			return fmt.Errorf("decode final output %d: %w", msg.Seq, err)
+		for k := 0; k < n.expect[t].finals; k++ {
+			msg, err := n.mbox.take(ctx, t, msgFinalOutput)
+			if err != nil {
+				return err
+			}
+			n.noteRecv(metrics.OutputHandling, msg)
+			out, err := chunk.Decode(msg.Payload)
+			if err != nil {
+				msg.Release()
+				return fmt.Errorf("decode final output %d: %w", msg.Seq, err)
+			}
+			err = n.emit(out)
+			if n.cfg.OnResult != nil {
+				// The result callback may retain the decoded chunk, whose
+				// items alias the payload: return the credit but hand the
+				// bytes over to the retainer (and the GC).
+				msg.ReleaseKeep()
+			} else {
+				msg.Release()
+			}
+			if err != nil {
+				return fmt.Errorf("emit shipped output %d: %w", msg.Seq, err)
+			}
 		}
-		if err := n.emit(out); err != nil {
-			return fmt.Errorf("emit shipped output %d: %w", msg.Seq, err)
-		}
+		return nil
+	}()
+
+	serr := <-sendErr
+	for _, o := range tile.Locals[n.self] {
+		delete(accs, o)
 	}
-	return nil
+	if recvErr != nil {
+		return recvErr
+	}
+	return serr
 }
 
 // finalizeMeta stamps engine-owned metadata onto a finished chunk.
@@ -653,6 +824,7 @@ func (n *node) emit(out *chunk.Chunk) error {
 
 // send transmits m, attributing the traffic to the phase issuing it.
 func (n *node) send(p metrics.Phase, m rpc.Message) error {
+	m.OnStall = n.onStall
 	if err := n.ep.Send(m); err != nil {
 		return fmt.Errorf("send %s to %d: %w", msgTypeName(uint8(m.Type)), m.Dst, err)
 	}

@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"adr/internal/bufpool"
 	"adr/internal/metrics"
 )
 
@@ -30,10 +29,13 @@ type work struct {
 	// items, output position for global-combine ghosts.
 	seq  int32
 	data []byte
-	// pooled marks data as a bufpool buffer owned by the pipeline; the pool
-	// recycles it as soon as its worker callback returns (the callback must
-	// not retain data or anything aliasing it).
-	pooled bool
+	// rel, when set, retires the item once its worker callback returns (or
+	// when the pool skips it after a failure): for mailbox items it is the
+	// message's Release — flow-control credit returns to the sender and a
+	// pooled payload recycles. The callback must not retain data or anything
+	// aliasing it. Local-read items leave it nil; their buffers belong to
+	// the storage/cache.
+	rel func()
 	// hit and local describe local-read items (cache hit; read locally and
 	// therefore subject to forwarding) — false for items from the mailbox.
 	hit   bool
@@ -104,12 +106,16 @@ func (p *pool) worker() {
 	}
 }
 
-// release recycles a pooled payload. Dropping instead of recycling is always
-// safe; recycling while any reference lives is not — callers guarantee the
-// worker callback is the payload's last reader.
+// release retires the item exactly once: credit returns to the sender and a
+// pooled payload recycles. Dropping instead of releasing is always
+// memory-safe (the GC reclaims the bytes) but leaks the sender's credit and
+// the pool's outstanding balance; releasing while any reference lives is
+// not safe — callers guarantee the worker callback is the payload's last
+// reader.
 func (w *work) release() {
-	if w.pooled {
-		bufpool.Put(w.data)
+	if r := w.rel; r != nil {
+		w.rel = nil
+		r()
 	}
 }
 

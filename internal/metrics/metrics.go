@@ -91,7 +91,14 @@ type Node struct {
 	// ratio QueueWaitNanos/phase time is the pipeline's backlog signal.
 	DecodeNanos    atomic.Int64
 	QueueWaitNanos atomic.Int64
-	phaseNanos     [numPhases]atomic.Int64
+	// CreditStalls counts sends that blocked on flow-control credit (the
+	// forwarding window or node budget was exhausted) and CreditStallNanos
+	// the cumulative time they spent blocked. Summed across the node's
+	// sending goroutines; the ratio CreditStallNanos/phase time says how
+	// hard the receiver's consumption rate throttled this node.
+	CreditStalls     atomic.Int64
+	CreditStallNanos atomic.Int64
+	phaseNanos       [numPhases]atomic.Int64
 	// phaseIO attributes the traffic counters above to the phase that
 	// incurred them; AddRead/AddSent/AddRecv update totals and phase
 	// together, and Trace exports the per-phase view.
@@ -125,21 +132,23 @@ func (n *Node) CommBytes() int64 {
 // Snapshot is an immutable copy of a Node's counters, safe to aggregate and
 // serialize.
 type Snapshot struct {
-	BytesRead    int64
-	BytesWritten int64
-	BytesSent    int64
-	BytesRecv    int64
-	ChunksRead   int64
-	MsgsSent     int64
-	MsgsRecv     int64
-	AggOps         int64
-	CombineOps     int64
-	CacheHits      int64
-	SharedReads    int64
-	DedupedBytes   int64
-	DecodeNanos    int64
-	QueueWaitNanos int64
-	PhaseNanos     [4]int64
+	BytesRead        int64
+	BytesWritten     int64
+	BytesSent        int64
+	BytesRecv        int64
+	ChunksRead       int64
+	MsgsSent         int64
+	MsgsRecv         int64
+	AggOps           int64
+	CombineOps       int64
+	CacheHits        int64
+	SharedReads      int64
+	DedupedBytes     int64
+	DecodeNanos      int64
+	QueueWaitNanos   int64
+	CreditStalls     int64
+	CreditStallNanos int64
+	PhaseNanos       [4]int64
 }
 
 // Snapshot captures the current counter values.
@@ -159,6 +168,8 @@ func (n *Node) Snapshot() Snapshot {
 	s.DedupedBytes = n.DedupedBytes.Load()
 	s.DecodeNanos = n.DecodeNanos.Load()
 	s.QueueWaitNanos = n.QueueWaitNanos.Load()
+	s.CreditStalls = n.CreditStalls.Load()
+	s.CreditStallNanos = n.CreditStallNanos.Load()
 	for p := 0; p < int(numPhases); p++ {
 		s.PhaseNanos[p] = n.phaseNanos[p].Load()
 	}
@@ -181,6 +192,8 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.DedupedBytes += o.DedupedBytes
 	s.DecodeNanos += o.DecodeNanos
 	s.QueueWaitNanos += o.QueueWaitNanos
+	s.CreditStalls += o.CreditStalls
+	s.CreditStallNanos += o.CreditStallNanos
 	for p := range s.PhaseNanos {
 		s.PhaseNanos[p] += o.PhaseNanos[p]
 	}

@@ -28,9 +28,9 @@ type PhaseSpan struct {
 
 // NodeTrace is one back-end node's complete accounting for one query.
 type NodeTrace struct {
-	Node      int         `json:"node"`
-	Tiles     int         `json:"tiles"`
-	WallNanos int64       `json:"wall_nanos"` // end-to-end node execution time
+	Node      int   `json:"node"`
+	Tiles     int   `json:"tiles"`
+	WallNanos int64 `json:"wall_nanos"` // end-to-end node execution time
 	// Workers is the execution-pipeline width the node ran with (Config.
 	// Workers after defaulting); 1 means the pre-pipeline serial behaviour.
 	Workers int         `json:"workers,omitempty"`

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"adr/internal/bufpool"
 	"adr/internal/rpc"
 )
 
@@ -109,7 +110,10 @@ func (e *Endpoint) Self() rpc.NodeID { return e.inner.Self() }
 // Nodes returns the inner fabric size.
 func (e *Endpoint) Nodes() int { return e.inner.Nodes() }
 
-// Send applies the first matching send rule, then delegates.
+// Send applies the first matching send rule, then delegates. Like a real
+// transport, the wrapper owns a Pooled payload from the moment Send is
+// invoked: messages it errors or drops have their buffers recycled, so fault
+// injection never shows up as a pool leak.
 func (e *Endpoint) Send(m rpc.Message) error {
 	e.mu.Lock()
 	act, ok := match(e.send, m)
@@ -119,13 +123,23 @@ func (e *Endpoint) Send(m rpc.Message) error {
 			time.Sleep(act.Delay)
 		}
 		if act.Err != nil {
+			recyclePooled(m)
 			return act.Err
 		}
 		if act.Drop {
+			recyclePooled(m)
 			return nil
 		}
 	}
 	return e.inner.Send(m)
+}
+
+// recyclePooled returns an undelivered message's pooled payload, mirroring
+// the ownership rule both transports follow on their failure paths.
+func recyclePooled(m rpc.Message) {
+	if m.Pooled {
+		bufpool.Put(m.Payload)
+	}
 }
 
 // Recv delegates, applying the first matching recv rule to each arriving
@@ -150,9 +164,13 @@ func (e *Endpoint) Recv(ctx context.Context) (rpc.Message, error) {
 			}
 		}
 		if act.Err != nil {
+			// The message was consumed off the transport; retire it (credit
+			// and pooled buffer) before surfacing the injected failure.
+			m.Release()
 			return rpc.Message{}, act.Err
 		}
 		if act.Drop {
+			m.Release()
 			continue
 		}
 		return m, nil

@@ -1,0 +1,127 @@
+package rpc
+
+import (
+	"sync"
+	"time"
+)
+
+// Credit-based flow control for the forwarding path. The paper's strategies
+// overlap disk reads with interprocessor chunk forwarding (§2.2, §4), and
+// the crossovers between them are driven by bytes on the wire per link — so
+// the transports bound in-flight traffic in bytes, not messages. A sender
+// charges every flow-controlled payload against two gates before it leaves:
+//
+//   - a per-peer window (the receiver's share of this sender's memory), and
+//   - a per-node budget (the sender's total forwarding memory across peers).
+//
+// Credits return when the receiver finishes with the payload and calls
+// Message.Release — on TCP via a credit frame, in-process by releasing the
+// sender's windows directly. A sender with no credit blocks in Send, which
+// propagates backpressure up through the engine's forwarding goroutines to
+// its disk prefetchers and the shared-scan leader.
+//
+// flowWindow is one such gate: a byte counter with a limit, a condition
+// variable for blocked senders, and a high-water mark for the tests and the
+// backpressure benchmark. A nil window or a limit <= 0 disables the gate
+// (every call is a no-op), so unconfigured fabrics pay nothing.
+type flowWindow struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	limit    int64
+	inflight int64
+	peak     int64
+	closed   bool
+}
+
+// newFlowWindow builds a gate admitting limit in-flight bytes; limit <= 0
+// returns nil (disabled).
+func newFlowWindow(limit int64) *flowWindow {
+	if limit <= 0 {
+		return nil
+	}
+	w := &flowWindow{limit: limit}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// acquire charges n bytes, blocking while the window is full. A payload
+// larger than the whole window is admitted once the window is empty, so an
+// oversized frame makes progress instead of deadlocking — this is the
+// "± one frame" slack in the in-flight bound. It returns how long the
+// caller stalled waiting for credit and whether the charge was taken; ok is
+// false when the window was closed underneath the caller (peer death or
+// endpoint shutdown), in which case nothing was charged.
+func (w *flowWindow) acquire(n int64) (stall time.Duration, ok bool) {
+	if w == nil || n <= 0 {
+		return 0, true
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var start time.Time
+	for !w.closed && w.inflight > 0 && w.inflight+n > w.limit {
+		if start.IsZero() {
+			start = time.Now()
+		}
+		w.cond.Wait()
+	}
+	if !start.IsZero() {
+		stall = time.Since(start)
+	}
+	if w.closed {
+		return stall, false
+	}
+	w.inflight += n
+	if w.inflight > w.peak {
+		w.peak = w.inflight
+	}
+	return stall, true
+}
+
+// release returns n bytes of credit and wakes blocked senders. Releasing on
+// a closed window is harmless (teardown reclaims wholesale).
+func (w *flowWindow) release(n int64) {
+	if w == nil || n <= 0 {
+		return
+	}
+	w.mu.Lock()
+	if w.inflight -= n; w.inflight < 0 {
+		w.inflight = 0
+	}
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// close permanently unblocks every waiter; subsequent acquires fail. Used
+// when the peer behind the window dies or the endpoint shuts down, so no
+// sender waits forever on credit that can never return.
+func (w *flowWindow) close() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// current returns the in-flight byte count.
+func (w *flowWindow) current() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inflight
+}
+
+// highWater returns the window's peak in-flight byte count — the quantity
+// BenchmarkForwardBackpressure asserts stays within the configured window
+// (± one frame).
+func (w *flowWindow) highWater() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.peak
+}

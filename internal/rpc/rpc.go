@@ -28,6 +28,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
+
+	"adr/internal/bufpool"
 )
 
 // NodeID identifies a back-end node (processor) in [0, NumNodes).
@@ -59,11 +62,65 @@ type Message struct {
 	// with the bytes may return them for reuse. It is never serialized; each
 	// hop sets it only for buffers it allocated from the pool and owns
 	// exclusively. The TCP transport sets it on inbound frames (each frame
-	// body is a fresh pool buffer) and, for outbound messages carrying it,
-	// recycles the payload once the frame is on the wire. Buffers that may be
-	// shared — cache-resident chunk data, loopback self-sends — must leave it
-	// unset; dropping a pooled buffer without recycling is always safe.
+	// body is a fresh pool buffer). For outbound messages carrying it, the
+	// transport owns the payload from the moment Send is invoked — on every
+	// path, success or error — and recycles it itself (once the frame is on
+	// the wire, or when the send fails); callers must never touch the buffer
+	// after Send. Buffers that may be shared — cache-resident chunk data —
+	// must leave Pooled unset. Dropping a pooled buffer without recycling is
+	// always memory-safe (the GC reclaims it) but shows up in the
+	// adr_bufpool_outstanding balance; receivers retire inbound messages with
+	// Release or ReleaseKeep instead of dropping them.
 	Pooled bool
+	// Urgent exempts the message from flow-control accounting: it is sent
+	// even when the destination's credit window is exhausted and consumes no
+	// credit. Reserved for small control traffic whose delivery must not
+	// stall behind data — the engine's abort broadcast uses it so failure
+	// propagation cannot deadlock against the very backpressure a failing
+	// query caused.
+	Urgent bool
+	// OnStall, when set, is invoked by the transport's Send with the time it
+	// spent blocked waiting for flow-control credit (only when it actually
+	// stalled). The engine uses it to attribute credit stalls to the query's
+	// NodeTrace. It is never serialized and runs on the sender's goroutine.
+	OnStall func(stall time.Duration)
+	// release, installed by the transport on flow-controlled inbound
+	// messages, returns the payload's credit to the sender. Consumed (and
+	// nil-ed) by Release/ReleaseKeep.
+	release func()
+}
+
+// Release retires an inbound message: the payload's flow-control credit (if
+// any) returns to the sender, and a pooled payload is recycled. Call it
+// exactly once, after the last read of Payload — the engine's consumption
+// paths, including drops (aborted queries, late messages, teardown drains),
+// must all release, or the sender's window leaks and adr_bufpool_outstanding
+// climbs. Calling Release on a zero or already-released Message is a no-op.
+func (m *Message) Release() {
+	if r := m.release; r != nil {
+		m.release = nil
+		r()
+	}
+	if m.Pooled {
+		m.Pooled = false
+		bufpool.Put(m.Payload)
+	}
+}
+
+// ReleaseKeep returns the payload's flow-control credit but keeps the bytes
+// alive, for receivers that retain data aliasing the payload (a decoded
+// final-output chunk handed to a result callback). The buffer leaves the
+// pool's outstanding balance (bufpool.Disown) and its ownership passes to
+// the retainer and the GC; it must not be recycled afterwards.
+func (m *Message) ReleaseKeep() {
+	if r := m.release; r != nil {
+		m.release = nil
+		r()
+	}
+	if m.Pooled {
+		m.Pooled = false
+		bufpool.Disown(m.Payload)
+	}
 }
 
 // ErrClosed is returned by operations on a closed endpoint.
@@ -111,7 +168,12 @@ type Endpoint interface {
 	Nodes() int
 	// Send enqueues a message to m.Dst. It is asynchronous: delivery order
 	// is preserved per (src, dst) pair but Send returns before the receiver
-	// consumes the message. Sending to self is allowed and loops back.
+	// consumes the message. Sending to self is allowed and loops back. On a
+	// flow-controlled fabric, Send blocks while the destination's credit
+	// window or this node's forwarding budget is exhausted, until receivers
+	// Release consumed payloads (Urgent messages are exempt). A Pooled
+	// payload is owned by the transport from the moment Send is invoked —
+	// the transport recycles it on success and failure alike.
 	Send(m Message) error
 	// Recv blocks until a message arrives or the context is cancelled.
 	Recv(ctx context.Context) (Message, error)

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"testing"
 	"time"
+
+	"adr/internal/bufpool"
 )
 
 // fabricCase runs a subtest against both transports.
@@ -243,23 +246,29 @@ func TestMeshValidation(t *testing.T) {
 	}
 }
 
-func TestRecvDrainsAfterClose(t *testing.T) {
-	// A message delivered before close must still be readable afterwards
-	// (close-with-drain keeps the engine's final-phase messages from being
-	// dropped).
+func TestCloseRetiresUnreadMessages(t *testing.T) {
+	// Closing the fabric retires messages nobody consumed: pooled payloads
+	// recycle (the bufpool balance returns to its baseline) and Recv reports
+	// the shutdown instead of handing out retired messages. Consumers are
+	// expected to drain before closing — the engine's mailbox runs until its
+	// endpoint reports closed.
+	base := bufpool.Outstanding()
 	f, err := NewInprocFabric(2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	a, _ := f.Endpoint(0)
 	b, _ := f.Endpoint(1)
-	if err := a.Send(Message{Src: 0, Dst: 1, Seq: 5}); err != nil {
+	payload := bufpool.Get(4096)
+	if err := a.Send(Message{Src: 0, Dst: 1, Seq: 5, Payload: payload, Pooled: true}); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
-	got, err := b.Recv(context.Background())
-	if err != nil || got.Seq != 5 {
-		t.Errorf("drain after close: %+v, %v", got, err)
+	if _, err := b.Recv(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("recv after close: %v, want ErrClosed", err)
+	}
+	if got := bufpool.Outstanding(); got != base {
+		t.Errorf("outstanding buffers after close: %d, want %d", got, base)
 	}
 }
 
