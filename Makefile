@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check test-failure bench bench-cache bench-engine bench-sharedscan bench-flow docs clean
+.PHONY: all build test race vet check test-failure bench bench-cache bench-engine bench-sharedscan bench-flow bench-failover docs clean
 
 all: check
 
@@ -19,15 +19,18 @@ vet:
 # Failure-path tests: peer death, send timeouts, abort broadcast, dispatcher
 # late messages, the store fd-lifetime race, cache coherence under
 # concurrency, admission-control recovery, shared-scan batches surviving a
-# member's abort, and the flow-control/buffer-ownership sweep (credit windows
-# under failure, pool-balance leak checks, payload recycling on dead-peer
-# sends) — race-checked, bounded so a reintroduced hang fails fast.
+# member's abort, the store fd-lifetime race, the flow-control/buffer-
+# ownership sweep (credit windows under failure, pool-balance leak checks,
+# payload recycling on dead-peer sends), and the degraded-mode failover suite
+# (kill-a-node-mid-query on both transports, client busy-retry/timeout/
+# excluded-tolerance) — race-checked, bounded so a reintroduced hang fails
+# fast.
 test-failure:
-	$(GO) test -race -timeout 120s -run 'Fail|Fault|Abort|Death|Late|Timeout|Malformed|Race|Admission|Compact|CacheConcurrent|Inflight|SharedBatch|SharedScan|Flow|Credit|Leak|Recycles|Retires' ./internal/rpc/... ./internal/engine/... ./internal/backend/... ./internal/layout/...
+	$(GO) test -race -timeout 120s -run 'Fail|Fault|Abort|Death|Late|Timeout|Malformed|Race|Admission|Compact|CacheConcurrent|Inflight|SharedBatch|SharedScan|Flow|Credit|Leak|Recycles|Retires|Degraded' ./internal/rpc/... ./internal/engine/... ./internal/backend/... ./internal/layout/... ./internal/frontend/...
 
 check: build vet test
 
-bench: bench-cache bench-engine bench-sharedscan bench-flow
+bench: bench-cache bench-engine bench-sharedscan bench-flow bench-failover
 	$(GO) run ./cmd/adr-bench -quick
 
 # Cache benchmark: cold vs warm disk reads for a repeated range-query sweep,
@@ -53,6 +56,13 @@ bench-sharedscan:
 # than 1.5x wall time.
 bench-flow:
 	BENCH_JSON=BENCH_7.json $(GO) test -run '^$$' -bench ForwardBackpressure -benchtime 1x .
+
+# Failover benchmark: the same replicated query on the healthy 4-node mesh vs
+# degraded to 3-of-4 after a node death, summarized into BENCH_8.json. Fails
+# if the degraded result diverges from the healthy one or no degraded retry
+# actually ran.
+bench-failover:
+	BENCH_JSON=BENCH_8.json $(GO) test -run '^$$' -bench DegradedQuery -benchtime 1x .
 
 # Documentation checks: README flag tables vs registered flags, markdown
 # links and DESIGN.md section cross-references, and the godoc package-

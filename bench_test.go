@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -1069,5 +1071,211 @@ func BenchmarkForwardBackpressure(b *testing.B) {
 	if ratio > 1.5 {
 		b.Fatalf("flow control regressed the balanced workload: %.2fx wall time (%v vs %v)",
 			ratio, balFlowWall, balBareWall)
+	}
+}
+
+// BenchmarkDegradedQuery measures the cost of surviving a node death: a
+// 4-node, 2-replica farm runs the same DA query on the full mesh and then
+// degraded, with one node dead before the query starts (the steady-state
+// daemon-fleet shape: the death is on the fabric's record, the first
+// attempt fails instantly, the survivors fence, re-plan onto replica
+// holders, and execute 3-wide). Reports the degraded-over-healthy wall
+// ratio and the replica-fallback read count, and fails if the degraded
+// result diverges from the fault-free one. With BENCH_JSON set, a JSON
+// summary is written to that path.
+func BenchmarkDegradedQuery(b *testing.B) {
+	const nodes = 4
+	region := adr.R(0, 256, 0, 256)
+	repo, err := adr.NewRepository(adr.Options{Nodes: nodes, Replicas: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+	rng := rand.New(rand.NewSource(41))
+	items := make([]adr.Item, 65536)
+	for i := range items {
+		items[i] = adr.Item{
+			Coord: adr.Pt(rng.Float64()*256, rng.Float64()*256),
+			Value: adr.EncodeValue(int64(i)),
+		}
+	}
+	grid, err := adr.NewGrid(region, 16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunks, err := adr.PartitionGrid(items, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := repo.LoadDataset("pts", adr.AttrSpace{Name: "in", Bounds: region}, chunks); err != nil {
+		b.Fatal(err)
+	}
+	outGrid, err := adr.NewGrid(region, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := repo.LoadDataset("img", adr.AttrSpace{Name: "out", Bounds: region}, adr.GridChunks(outGrid)); err != nil {
+		b.Fatal(err)
+	}
+	w, err := repo.BuildWorkload(&adr.Query{
+		Input: "pts", Output: "img", Strategy: adr.DA,
+		App: &adr.RasterApp{Op: adr.Sum, CellsPerDim: 4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	planner, err := plan.NewPlanner(repo.Machine())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := planner.Plan(plan.DA, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	replan := func(excluded []rpc.NodeID) (*plan.Plan, *plan.Workload, error) {
+		ex := make(map[int32]bool, len(excluded))
+		for _, id := range excluded {
+			ex[int32(id)] = true
+		}
+		dw, err := plan.Degrade(repo.Machine(), w, ex, repo.Farm().DisksPerNode)
+		if err != nil {
+			return nil, nil, err
+		}
+		dp, err := plan.NewPlanner(repo.Machine())
+		if err != nil {
+			return nil, nil, err
+		}
+		dp.Exclude = ex
+		p2, err := dp.Plan(plan.DA, dw)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p2, dw, nil
+	}
+	canon := func(chunks []*adr.Chunk) string {
+		var lines []string
+		for _, c := range chunks {
+			for _, it := range c.Items {
+				v, _ := adr.DecodeValue(it.Value)
+				lines = append(lines, fmt.Sprintf("%.3f,%.3f=%d", it.Coord.Coords[0], it.Coord.Coords[1], v))
+			}
+		}
+		sort.Strings(lines)
+		return strings.Join(lines, "\n")
+	}
+
+	// run executes the query once: on the full mesh when dead < 0, else with
+	// node dead killed before the survivors start.
+	run := func(dead int) (time.Duration, string) {
+		fabric, err := rpc.NewInprocFabricOpts(nodes, rpc.InprocOptions{Degraded: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fabric.Close()
+		var mu sync.Mutex
+		var got []*adr.Chunk
+		cfg := engine.Config{
+			Plan: p, Workload: w,
+			App:          &adr.RasterApp{Op: adr.Sum, CellsPerDim: 4},
+			InputDataset: "pts",
+			Degraded:     true,
+			Replan:       replan,
+			OnResult: func(node rpc.NodeID, c *adr.Chunk) error {
+				mu.Lock()
+				got = append(got, c)
+				mu.Unlock()
+				return nil
+			},
+		}
+		st := engine.FarmStorage{Farm: repo.Farm()}
+		if dead >= 0 {
+			ep, err := fabric.Endpoint(rpc.NodeID(dead))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ep.Close()
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, nodes)
+		for q := 0; q < nodes; q++ {
+			if q == dead {
+				continue
+			}
+			ep, err := fabric.Endpoint(rpc.NodeID(q))
+			if err != nil {
+				b.Fatal(err)
+			}
+			wg.Add(1)
+			go func(q int, ep rpc.Endpoint) {
+				defer wg.Done()
+				_, errs[q] = engine.RunNode(context.Background(), cfg, ep, st)
+			}(q, ep)
+		}
+		wg.Wait()
+		for q, err := range errs {
+			if err != nil {
+				b.Fatalf("node %d: %v", q, err)
+			}
+		}
+		return time.Since(start), canon(got)
+	}
+	best := func(dead int) (time.Duration, string) {
+		bestWall, result := time.Duration(0), ""
+		for i := 0; i < 3; i++ {
+			wall, r := run(dead)
+			if bestWall == 0 || wall < bestWall {
+				bestWall = wall
+			}
+			result = r
+		}
+		return bestWall, result
+	}
+
+	fallbackReads := metrics.Default.Counter("adr_engine_degraded_runs_total")
+	var healthyWall, degradedWall time.Duration
+	var want, got string
+	b.Run("healthy/p=4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			healthyWall, want = best(-1)
+		}
+		b.ReportMetric(float64(healthyWall.Nanoseconds())/1e6, "wall-ms")
+	})
+	runsBefore := fallbackReads.Value()
+	b.Run("degraded/p=3of4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			degradedWall, got = best(0)
+		}
+		b.ReportMetric(float64(degradedWall.Nanoseconds())/1e6, "wall-ms")
+	})
+	degradedRuns := fallbackReads.Value() - runsBefore
+
+	if healthyWall == 0 || degradedWall == 0 {
+		return // a -bench filter selected a subset; nothing to compare
+	}
+	if got != want {
+		b.Fatal("degraded query result diverges from the fault-free run")
+	}
+	if degradedRuns == 0 {
+		b.Fatal("degraded leg never exercised a degraded run")
+	}
+	ratio := float64(degradedWall) / float64(healthyWall)
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		out := map[string]any{
+			"benchmark":        "DegradedQuery",
+			"nodes":            nodes,
+			"replicas":         2,
+			"healthy_wall_ns":  healthyWall.Nanoseconds(),
+			"degraded_wall_ns": degradedWall.Nanoseconds(),
+			"overhead_ratio":   ratio,
+			"degraded_runs":    degradedRuns,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

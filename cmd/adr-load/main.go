@@ -47,6 +47,7 @@ func main() {
 	synthetic := flag.Int("synthetic", 0, "generate N synthetic uniform points")
 	seed := flag.Int64("seed", 1, "seed for -synthetic")
 	output := flag.Bool("output", false, "declare a regular-array output dataset (empty chunks)")
+	replicas := flag.Int("replicas", 1, "copies of each chunk, chained-declustered across disks (1 = unreplicated)")
 	flag.Parse()
 
 	if *dataDir == "" || *name == "" || *boundsFlag == "" {
@@ -122,7 +123,7 @@ func main() {
 		fatal(fmt.Errorf("choose one of -csv, -synthetic or -output"))
 	}
 
-	loader := &layout.Loader{Farm: farm}
+	loader := &layout.Loader{Farm: farm, Replicas: *replicas}
 	sp := space.AttrSpace{Name: *name + "-space", Bounds: bounds}
 	ds, err := loader.Load(*name, sp, chunks)
 	if err != nil {

@@ -46,6 +46,7 @@ type options struct {
 	maxBatch     *int
 	fwdWindow    *int64
 	fwdBudget    *int64
+	degraded     *bool
 }
 
 // registerFlags declares the daemon's full flag set on fs.
@@ -67,6 +68,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 		maxBatch:     fs.Int("max-batch", 8, "max queries per shared-scan batch (effective with -batch-window > 0)"),
 		fwdWindow:    fs.Int64("fwd-window-bytes", 0, "per-peer in-flight forwarded-byte window; senders block until receivers consume (0 disables)"),
 		fwdBudget:    fs.Int64("fwd-budget-bytes", 0, "node-wide in-flight forwarded-byte budget across all peers (0 disables)"),
+		degraded:     fs.Bool("degraded", false, "survive back-end node deaths by re-planning onto replica holders (needs -replicas >= 2 at load time; same value on every node)"),
 	}
 }
 
@@ -105,6 +107,7 @@ func main() {
 		MaxBatch:       *opt.maxBatch,
 		FwdWindowBytes: *opt.fwdWindow,
 		FwdBudgetBytes: *opt.fwdBudget,
+		Degraded:       *opt.degraded,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adr-node:", err)
@@ -119,6 +122,9 @@ func main() {
 	}
 	if *opt.fwdWindow > 0 || *opt.fwdBudget > 0 {
 		fmt.Printf("adr-node %d: forwarding flow control: window %d B/peer, budget %d B\n", *id, *opt.fwdWindow, *opt.fwdBudget)
+	}
+	if *opt.degraded {
+		fmt.Printf("adr-node %d: degraded-mode execution on: peer deaths re-plan onto replica holders\n", *id)
 	}
 
 	if *metricsAddr != "" {

@@ -89,6 +89,13 @@ type Config struct {
 	// Must be identical on every node, like AccMemBytes.
 	FwdWindowBytes int64
 	FwdBudgetBytes int64
+	// Degraded enables degraded-mode query execution: when a mesh peer dies
+	// mid-query, this node re-plans the dead peer's chunks onto surviving
+	// replica holders (datasets loaded with adr-load -replicas >= 2) and
+	// retries, instead of aborting the query. Must be identical on every
+	// node. Queries over unreplicated datasets still abort mesh-wide when a
+	// chunk has no surviving copy.
+	Degraded bool
 }
 
 // DefaultRequestTimeout is how long a fresh control connection may take to
@@ -102,6 +109,13 @@ var (
 	admActive   = metrics.Default.Gauge("adr_node_admission_active")
 	admWaiting  = metrics.Default.Gauge("adr_node_admission_waiting")
 	admAdmitted = metrics.Default.Counter("adr_node_admission_admitted_total")
+)
+
+// Degraded-mode instrumentation: queries this node completed with processors
+// excluded, and chunk reads served from non-primary replica holders.
+var (
+	degradedQueries      = metrics.Default.Counter("adr_node_degraded_queries_total")
+	replicaFallbackReads = metrics.Default.Counter("adr_node_replica_fallback_reads_total")
 )
 
 // Server is a running node daemon. Concurrent queries share the mesh
@@ -155,6 +169,7 @@ func Start(cfg Config) (*Server, error) {
 		DialRetry:      cfg.DialRetry,
 		FwdWindowBytes: cfg.FwdWindowBytes,
 		FwdBudgetBytes: cfg.FwdBudgetBytes,
+		Degraded:       cfg.Degraded,
 	})
 	if err != nil {
 		ctrl.Close()
@@ -257,7 +272,7 @@ func (s *Server) handle(conn net.Conn) {
 			Error: fmt.Sprintf("backend: bad request: %v", err),
 			ErrInfo: &frontend.ErrorInfo{
 				Node: int(s.cfg.Node), Origin: -1,
-				Message: fmt.Sprintf("bad request: %v", err),
+				Message: fmt.Sprintf("bad request: %v", err), Retryable: false,
 			},
 		})
 		w.Flush()
@@ -265,11 +280,14 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	conn.SetReadDeadline(time.Time{})
 
-	sendErr := func(err error) {
+	sendErr := func(err error, retryable bool) {
 		// Locate the failure for the client: this node reports it, and when
 		// the error chain identifies the node that caused it (a dead mesh
-		// peer, a peer-broadcast abort), name that node too.
-		info := &frontend.ErrorInfo{Node: int(s.cfg.Node), Origin: -1, Message: err.Error()}
+		// peer, a peer-broadcast abort), name that node too. Retryable marks
+		// failures a fresh submission stands a chance against (admission
+		// busy, degraded retries exhausted) so clients know to back off and
+		// resubmit rather than give up.
+		info := &frontend.ErrorInfo{Node: int(s.cfg.Node), Origin: -1, Message: err.Error(), Retryable: retryable}
 		var abort *engine.AbortError
 		var peer *rpc.PeerError
 		if errors.As(err, &abort) {
@@ -300,12 +318,12 @@ func (s *Server) handle(conn net.Conn) {
 			timer.Stop()
 		case <-timer.C:
 			admWaiting.Dec()
-			sendErr(fmt.Errorf("backend: node %d busy: %d queries running, admission queue timed out after %v", s.cfg.Node, s.cfg.MaxQueries, wait))
+			sendErr(fmt.Errorf("backend: node %d busy: %d queries running, admission queue timed out after %v", s.cfg.Node, s.cfg.MaxQueries, wait), true)
 			return
 		case <-s.done:
 			admWaiting.Dec()
 			timer.Stop()
-			sendErr(fmt.Errorf("backend: node %d shutting down", s.cfg.Node))
+			sendErr(fmt.Errorf("backend: node %d shutting down", s.cfg.Node), false)
 			return
 		}
 		admAdmitted.Inc()
@@ -326,7 +344,7 @@ func (s *Server) handle(conn net.Conn) {
 		Chunks:    int64(chunks),
 	})
 	if err != nil {
-		sendErr(err)
+		sendErr(err, engine.IsRetryable(err))
 		return
 	}
 	frontend.WriteJSON(w, &frontend.Message{Type: "done", Stats: &frontend.DoneStats{
@@ -339,6 +357,9 @@ func (s *Server) handle(conn net.Conn) {
 		ElapsedMS:  time.Since(start).Milliseconds(),
 		TotalNodes: s.machine.Procs,
 		Trace:      &trace,
+		Degraded:   trace.Degraded,
+		Attempts:   trace.Attempts,
+		Excluded:   trace.Excluded,
 	}})
 	w.Flush()
 }
@@ -403,6 +424,33 @@ func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace met
 			return frontend.WriteJSON(w, &frontend.Message{Type: "chunk", Chunk: frontend.ToChunkJSON(c)})
 		},
 	}
+	if s.cfg.Degraded {
+		cfg.Degraded = true
+		// Re-plan with dead processors excluded: remap their chunks onto
+		// surviving replica holders, then plan on the reduced machine. Every
+		// node derives the same plan from the shared catalog and the
+		// fence-agreed exclusion set, exactly as the initial plan is derived.
+		cfg.Replan = func(excluded []rpc.NodeID) (*plan.Plan, *plan.Workload, error) {
+			ex := make(map[int32]bool, len(excluded))
+			for _, id := range excluded {
+				ex[int32(id)] = true
+			}
+			dw, err := plan.Degrade(s.machine, workload, ex, s.farm.DisksPerNode)
+			if err != nil {
+				return nil, nil, err
+			}
+			dp, err := plan.NewPlanner(s.machine)
+			if err != nil {
+				return nil, nil, err
+			}
+			dp.Exclude = ex
+			p2, err := dp.Plan(strategy, dw)
+			if err != nil {
+				return nil, nil, err
+			}
+			return p2, dw, nil
+		}
+	}
 	st := engine.FarmStorage{Farm: s.farm}
 	ep := s.dispatch.Endpoint(req.QueryID)
 	defer s.dispatch.Release(req.QueryID)
@@ -422,18 +470,24 @@ func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace met
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	if s.scan != nil {
+	if s.scan != nil && !cfg.Degraded {
 		// Shared scans: merge this query's read schedule with batch peers
 		// admitted within the window, so overlapping chunk demands hit the
 		// disks once. Leave runs on every exit path — an aborting member must
 		// withdraw its demand so peers' retained payloads are released.
+		// Disabled on degraded runs: a retry's re-planned read schedule no
+		// longer matches the demands registered at join time.
 		member := s.scan.Join(ctx, engine.SharedDemands(&cfg, s.cfg.Node))
 		defer member.Leave()
 		cfg.Shared = func(rpc.NodeID) *engine.ScanMember { return member }
 	}
 	trace, err = engine.RunNodeTraced(ctx, cfg, ep, st)
+	replicaFallbackReads.Add(trace.Totals.ReplicaFallbackReads)
 	if err != nil {
 		return trace, chunks, err
+	}
+	if trace.Degraded {
+		degradedQueries.Inc()
 	}
 	streamMu.Lock()
 	w.Flush()

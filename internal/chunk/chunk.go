@@ -38,6 +38,23 @@ type Meta struct {
 	// processor (§2.2).
 	Disk int32
 	Node int32
+	// Holders lists every global disk holding a copy of the chunk when the
+	// dataset was loaded with replication, primary first (Holders[0] is the
+	// disk the declustering algorithm picked). Nil or a single entry means
+	// the chunk is unreplicated. Replicas are placed by chained declustering,
+	// so consecutive holders sit on distinct nodes whenever the farm has more
+	// than one; degraded-mode execution reads a surviving holder when the
+	// primary's node is dead.
+	Holders []int32
+}
+
+// HolderDisks returns every global disk holding a copy of the chunk: the
+// Holders list when the chunk is replicated, else just the primary Disk.
+func (m *Meta) HolderDisks() []int32 {
+	if len(m.Holders) > 0 {
+		return m.Holders
+	}
+	return []int32{m.Disk}
 }
 
 // Item is one data item: a point in the dataset's attribute space plus an

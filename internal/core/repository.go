@@ -52,6 +52,11 @@ type Options struct {
 	// MaxBatch caps the queries grouped into one shared-scan batch; <= 0
 	// selects engine.DefaultMaxBatch. Only consulted when BatchWindow > 0.
 	MaxBatch int
+	// Replicas is the number of copies of each chunk LoadDataset places,
+	// chain-declustered across the farm's disks (layout.Loader.Replicas);
+	// <= 1 loads unreplicated. Degraded-mode execution needs >= 2 to re-plan
+	// around a dead node.
+	Replicas int
 	// FwdWindowBytes, when > 0, bounds each node's in-flight forwarded
 	// bytes toward any single peer: the fabric charges every chunk payload
 	// against the destination's credit window and senders block until the
@@ -75,6 +80,7 @@ type Repository struct {
 	farm     *layout.Farm
 	machine  plan.Machine
 	workers  int
+	replicas int
 	// fwdWindow/fwdBudget configure the fabric's forwarding flow control
 	// for every query this repository executes (0 = disabled).
 	fwdWindow int64
@@ -118,6 +124,7 @@ func NewRepository(opts Options) (*Repository, error) {
 		farm:      farm,
 		machine:   plan.Machine{Procs: opts.Nodes, AccMemBytes: opts.AccMemBytes},
 		workers:   opts.Workers,
+		replicas:  opts.Replicas,
 		fwdWindow: opts.FwdWindowBytes,
 		fwdBudget: opts.FwdBudgetBytes,
 		datasets:  make(map[string]*layout.Dataset),
@@ -156,7 +163,7 @@ func (r *Repository) LoadDataset(name string, sp space.AttrSpace, chunks []*chun
 			return nil, err
 		}
 	}
-	loader := &layout.Loader{Farm: r.farm}
+	loader := &layout.Loader{Farm: r.farm, Replicas: r.replicas}
 	ds, err := loader.Load(name, sp, chunks)
 	if err != nil {
 		return nil, err

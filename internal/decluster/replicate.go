@@ -1,0 +1,41 @@
+package decluster
+
+// Replicate expands a primary assignment into r-way chained (rotational)
+// replica placement: copy k of a chunk whose primary is global disk d lands
+// on disk (d + k*disksPerNode) mod ndisks. Stepping by a whole node's worth
+// of disks places consecutive copies on consecutive *nodes*, so losing any
+// single node leaves at least one live holder of every chunk whenever
+// replicas >= 2 and the farm has >= 2 nodes — the availability argument of
+// chained declustering (Hsiao & DeWitt), applied to ADR's disk farm.
+//
+// The result is one holder list per entry, primary first, parallel to
+// assignment. Holder lists are deduplicated, so a farm with fewer than
+// `replicas` nodes simply yields fewer copies; replicas <= 1 returns
+// single-holder lists (the unreplicated layout).
+func Replicate(assignment []int, ndisks, disksPerNode, replicas int) [][]int32 {
+	if disksPerNode < 1 {
+		disksPerNode = 1
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	out := make([][]int32, len(assignment))
+	for i, d := range assignment {
+		holders := make([]int32, 0, replicas)
+		for k := 0; k < replicas; k++ {
+			g := int32((d + k*disksPerNode) % ndisks)
+			dup := false
+			for _, h := range holders {
+				if h == g {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				holders = append(holders, g)
+			}
+		}
+		out[i] = holders
+	}
+	return out
+}

@@ -96,6 +96,18 @@ const (
 	// every peer must stop waiting for its messages. Payload = reason
 	// string. The mailbox honours it regardless of tile or phase.
 	msgAbort = 5
+	// msgDegradeDone announces that the sender finished all tiles of a
+	// degraded-mode execution attempt. Seq = attempt number. Nodes hold their
+	// results until every live peer reports done for the attempt, so a late
+	// failure can still roll the whole mesh onto a new attempt.
+	msgDegradeDone = 6
+	// msgDegradeFence opens a degraded-mode retry attempt: the sender has
+	// observed peer deaths and is re-planning. Seq = attempt number, Payload =
+	// the sender's dead set (encodeDeadSet). Receipt purges the sender's
+	// still-pending earlier-attempt messages (per-pair FIFO makes everything
+	// before the fence stale); a fence ahead of the receiver's own attempt
+	// fails that attempt so the mesh converges on one attempt number.
+	msgDegradeFence = 7
 )
 
 func msgTypeName(t uint8) string {

@@ -60,13 +60,20 @@ func (f FarmStorage) ReadChunkCached(dataset string, m chunk.Meta) (data []byte,
 	return data, false, err
 }
 
-// WriteChunk writes to the chunk's disk store.
+// WriteChunk writes to the chunk's disk store — every holder disk when the
+// chunk is replicated, so replicas stay coherent across result writes (the
+// per-disk CachedStore Put invalidation fires on each copy).
 func (f FarmStorage) WriteChunk(dataset string, m chunk.Meta, data []byte) error {
-	st, err := f.Farm.Store(int(m.Disk))
-	if err != nil {
-		return err
+	for _, h := range m.HolderDisks() {
+		st, err := f.Farm.Store(int(h))
+		if err != nil {
+			return err
+		}
+		if err := st.Put(dataset, m.ID, data); err != nil {
+			return err
+		}
 	}
-	return st.Put(dataset, m.ID, data)
+	return nil
 }
 
 // HasChunk reports presence on the chunk's disk store.
@@ -136,6 +143,27 @@ type Config struct {
 	// the decode+aggregate hot path instead of one.
 	Workers int
 
+	// Degraded enables degraded-mode execution: a peer's death no longer
+	// aborts the query mesh-wide. Instead the node re-plans the dead peer's
+	// chunks onto surviving replica holders (Replan) and retries, falling
+	// back to the abort protocol only when a chunk has no surviving copy or
+	// retries are exhausted. Requires the endpoint to run on a degraded
+	// fabric (rpc.TCPOptions.Degraded / rpc.InprocOptions.Degraded) so peer
+	// deaths arrive as rpc.MsgPeerDown instead of failing the endpoint, and
+	// requires Replan.
+	Degraded bool
+
+	// Replan rebuilds the plan and workload with the given processors
+	// excluded (plan.Degrade over replica holders, then a re-plan with
+	// plan.Planner.Exclude set). Every node of a query must use the same
+	// deterministic Replan so the mesh re-converges on one plan. A
+	// *plan.NoHolderError return aborts the query mesh-wide.
+	Replan func(excluded []rpc.NodeID) (*plan.Plan, *plan.Workload, error)
+
+	// MaxAttempts caps degraded execution attempts per node, including the
+	// first (<= 0 selects nodes+1 — enough for every peer to die once).
+	MaxAttempts int
+
 	// serialStorage backs RunSerial only; see WithSerialStorage.
 	serialStorage ChunkStorage
 }
@@ -176,6 +204,9 @@ func (c *Config) Validate() error {
 	if c.FwdWindowBytes > 0 && c.FwdBudgetBytes > 0 && c.FwdBudgetBytes < c.FwdWindowBytes {
 		return fmt.Errorf("engine: forwarding budget %d smaller than one peer window %d",
 			c.FwdBudgetBytes, c.FwdWindowBytes)
+	}
+	if c.Degraded && c.Replan == nil {
+		return fmt.Errorf("engine: degraded execution requires a Replan callback")
 	}
 	return plan.Verify(c.Plan, c.Workload)
 }

@@ -29,10 +29,16 @@ type Dispatcher struct {
 	// is discarded and counted instead of silently re-creating the queue —
 	// which nothing would ever delete again.
 	released map[int32]bool
-	stopped  bool
-	err      error
-	cancel   context.CancelFunc
-	done     chan struct{}
+	// deadPeers remembers every rpc.MsgPeerDown the degraded transport has
+	// delivered. The synthetic message arrives once per dead peer, but every
+	// query — including ones registered after the death — needs to see it, so
+	// the run loop replicates it into each active queue and queue() replays
+	// the set into queues created later.
+	deadPeers []rpc.NodeID
+	stopped   bool
+	err       error
+	cancel    context.CancelFunc
+	done      chan struct{}
 }
 
 // lateMsgs counts inbound messages for already-released queries, dropped by
@@ -94,6 +100,18 @@ func (d *Dispatcher) run(ctx context.Context) {
 			d.mu.Unlock()
 			return
 		}
+		if m.Type == rpc.MsgPeerDown {
+			// Transport-level event, not query traffic: fan it out to every
+			// active query and remember it for queries not yet registered.
+			d.mu.Lock()
+			d.deadPeers = append(d.deadPeers, m.Src)
+			for _, q := range d.queues {
+				q.pending = append(q.pending, rpc.Message{Src: m.Src, Dst: m.Dst, Type: rpc.MsgPeerDown})
+				q.cond.Broadcast()
+			}
+			d.mu.Unlock()
+			continue
+		}
 		d.mu.Lock()
 		if d.released[m.Query] {
 			d.mu.Unlock()
@@ -122,6 +140,9 @@ func (d *Dispatcher) queue(query int32) *dispatchQueue {
 		if d.stopped {
 			q.closed = true
 			q.err = d.err
+		}
+		for _, peer := range d.deadPeers {
+			q.pending = append(q.pending, rpc.Message{Src: peer, Dst: d.ep.Self(), Type: rpc.MsgPeerDown})
 		}
 		d.queues[query] = q
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 
 	"adr/internal/rpc"
@@ -23,6 +24,20 @@ type mailbox struct {
 	pending map[mboxKey][]rpc.Message
 	err     error
 	closed  bool
+
+	// Degraded-mode state. The mailbox outlives individual execution attempts
+	// of one degraded query: attempt is the node's current attempt number,
+	// dead accumulates every processor known to have failed (locally observed
+	// rpc.MsgPeerDown plus peers' fence payloads), and fenceSeen/doneSeen
+	// track the highest fence and done-barrier attempt each peer has
+	// announced. A peer death or a fence ahead of the current attempt fails
+	// the mailbox with a retryable error; beginAttempt clears the failure for
+	// the next attempt.
+	attempt   int32
+	maxFence  int32
+	dead      map[rpc.NodeID]bool
+	fenceSeen map[rpc.NodeID]int32
+	doneSeen  map[rpc.NodeID]int32
 }
 
 type mboxKey struct {
@@ -33,7 +48,12 @@ type mboxKey struct {
 var errMailboxClosed = errors.New("engine: mailbox closed")
 
 func newMailbox() *mailbox {
-	m := &mailbox{pending: make(map[mboxKey][]rpc.Message)}
+	m := &mailbox{
+		pending:   make(map[mboxKey][]rpc.Message),
+		dead:      make(map[rpc.NodeID]bool),
+		fenceSeen: make(map[rpc.NodeID]int32),
+		doneSeen:  make(map[rpc.NodeID]int32),
+	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
@@ -52,7 +72,8 @@ func (m *mailbox) run(ctx context.Context, ep rpc.Endpoint) {
 }
 
 func (m *mailbox) put(msg rpc.Message) {
-	if uint8(msg.Type) == msgAbort {
+	switch uint8(msg.Type) {
+	case msgAbort:
 		// A peer failed and is telling the mesh: terminate, carrying who and
 		// why, regardless of which tile either side is in. The reason string
 		// copies the payload, so the message retires here.
@@ -60,12 +81,92 @@ func (m *mailbox) put(msg rpc.Message) {
 		msg.Release()
 		m.fail(err)
 		return
+	case uint8(rpc.MsgPeerDown):
+		// The transport watched a peer die. Record it and fail the current
+		// attempt; on a degraded run the driver re-plans around the corpse.
+		msg.Release()
+		m.mu.Lock()
+		m.dead[msg.Src] = true
+		m.failLocked(&peerDownError{Node: msg.Src})
+		m.mu.Unlock()
+		m.cond.Broadcast()
+		return
+	case msgDegradeFence:
+		deadIDs := decodeDeadSet(msg.Payload)
+		src, seq := msg.Src, msg.Seq
+		msg.Release()
+		m.mu.Lock()
+		for _, id := range deadIDs {
+			m.dead[id] = true
+		}
+		if seq > m.fenceSeen[src] {
+			m.fenceSeen[src] = seq
+		}
+		if seq > m.maxFence {
+			m.maxFence = seq
+		}
+		// Per-pair FIFO means everything from src still pending predates its
+		// fence and belongs to an abandoned attempt — drop it before the new
+		// attempt's same-keyed traffic can interleave with it.
+		purged := m.purgeFromLocked(src)
+		if seq > m.attempt {
+			m.failLocked(&fenceAheadError{Node: src, Attempt: seq})
+		}
+		m.mu.Unlock()
+		m.cond.Broadcast()
+		for i := range purged {
+			purged[i].Release()
+		}
+		return
+	case msgDegradeDone:
+		src, seq := msg.Src, msg.Seq
+		msg.Release()
+		m.mu.Lock()
+		if seq > m.doneSeen[src] {
+			m.doneSeen[src] = seq
+		}
+		m.mu.Unlock()
+		m.cond.Broadcast()
+		return
 	}
 	k := mboxKey{tile: msg.Tile, typ: uint8(msg.Type)}
 	m.mu.Lock()
+	if m.attempt > 0 && msg.Src != msg.Dst && m.fenceSeen[msg.Src] < m.attempt {
+		// Degraded rollover: the sender has not fenced into this node's
+		// current attempt, so per-pair FIFO makes this message abandoned
+		// earlier-attempt traffic. Release it on arrival — buffering it would
+		// both risk mis-delivery into the new attempt's same-keyed takes and
+		// strand the sender's flow-control credit while it is still draining
+		// toward its own rollover.
+		m.mu.Unlock()
+		msg.Release()
+		return
+	}
 	m.pending[k] = append(m.pending[k], msg)
 	m.mu.Unlock()
 	m.cond.Broadcast()
+}
+
+// purgeFromLocked removes every pending message from one peer and returns
+// them for release outside the lock. Callers hold m.mu.
+func (m *mailbox) purgeFromLocked(peer rpc.NodeID) []rpc.Message {
+	var out []rpc.Message
+	for k, q := range m.pending {
+		kept := q[:0]
+		for _, msg := range q {
+			if msg.Src == peer {
+				out = append(out, msg)
+			} else {
+				kept = append(kept, msg)
+			}
+		}
+		if len(kept) == 0 {
+			delete(m.pending, k)
+		} else {
+			m.pending[k] = kept
+		}
+	}
+	return out
 }
 
 // fail marks the mailbox dead; pending messages remain takeable so a node
@@ -73,12 +174,123 @@ func (m *mailbox) put(msg rpc.Message) {
 // first failure is recorded.
 func (m *mailbox) fail(err error) {
 	m.mu.Lock()
+	m.failLocked(err)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) failLocked(err error) {
 	if !m.closed {
 		m.closed = true
 		m.err = err
 	}
+}
+
+// beginAttempt opens a degraded execution attempt: the failure from the
+// previous attempt clears, every pending message purges, and the attempt
+// number advances — to at least the highest fence any peer has announced, so
+// a node joining late jumps straight to the attempt the rest of the mesh is
+// fencing on. Returns the attempt number actually entered.
+//
+// Purging everything is both safe and necessary. Safe because no peer sends
+// new-attempt data before collecting this node's own fence (fenceRound is a
+// barrier), so whatever is buffered here predates the rollover; necessary
+// because releasing it returns the senders' flow-control credit — a live
+// peer blocked in Send against this node's window must unblock so it can
+// reach its own fence.
+func (m *mailbox) beginAttempt(attempt int32) int32 {
+	m.mu.Lock()
+	if m.maxFence > attempt {
+		attempt = m.maxFence
+	}
+	m.attempt = attempt
+	m.closed = false
+	m.err = nil
+	pending := m.pending
+	m.pending = make(map[mboxKey][]rpc.Message)
 	m.mu.Unlock()
 	m.cond.Broadcast()
+	for _, q := range pending {
+		for i := range q {
+			q[i].Release()
+		}
+	}
+	return attempt
+}
+
+// deadSet returns the processors known to have failed, in ascending order.
+func (m *mailbox) deadSet() []rpc.NodeID {
+	m.mu.Lock()
+	out := make([]rpc.NodeID, 0, len(m.dead))
+	for id := range m.dead {
+		out = append(out, id)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// noteDead records a death observed outside the mailbox (a send that failed
+// with a PeerError) so the next attempt's fence carries it.
+func (m *mailbox) noteDead(peer rpc.NodeID) {
+	m.mu.Lock()
+	m.dead[peer] = true
+	m.mu.Unlock()
+}
+
+// waitFences blocks until every listed peer has announced a fence for the
+// given attempt (or a later one), skipping peers recorded dead. A mailbox
+// failure — a further death, a fence from a yet-later attempt, an abort —
+// wins over fence arrival so the caller joins the newer attempt instead of
+// planning against a stale exclusion set.
+func (m *mailbox) waitFences(ctx context.Context, attempt int32, peers []rpc.NodeID) error {
+	return m.waitSeen(ctx, attempt, peers, m.fenceSeen)
+}
+
+// waitDone blocks until every listed live peer has announced completion of
+// the given attempt, with the same failure-first semantics as waitFences.
+func (m *mailbox) waitDone(ctx context.Context, attempt int32, peers []rpc.NodeID) error {
+	return m.waitSeen(ctx, attempt, peers, m.doneSeen)
+}
+
+func (m *mailbox) waitSeen(ctx context.Context, attempt int32, peers []rpc.NodeID, seen map[rpc.NodeID]int32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer stop()
+
+	for {
+		// Failure first: a death or newer fence observed while waiting must
+		// roll the attempt even if every awaited announcement is present.
+		if m.closed {
+			if m.err != nil {
+				return m.err
+			}
+			return errMailboxClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ok := true
+		for _, p := range peers {
+			if m.dead[p] {
+				continue
+			}
+			if seen[p] < attempt {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		m.cond.Wait()
+	}
 }
 
 // drain releases every pending message — flow-control credits return to

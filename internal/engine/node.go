@@ -39,6 +39,12 @@ type node struct {
 	holders []map[int32][]rpc.NodeID
 	// expect[t] is what this node waits for in tile t.
 	expect []tileExpect
+
+	// attempts counts degraded-mode execution attempts (0 on non-degraded
+	// runs, >= 1 on degraded ones); excluded is the final exclusion set the
+	// node completed with. Both surface on the NodeTrace.
+	attempts int
+	excluded []rpc.NodeID
 }
 
 type tileExpect struct {
@@ -68,8 +74,16 @@ func RunNodeTraced(ctx context.Context, cfg Config, ep rpc.Endpoint, st ChunkSto
 	if n == nil {
 		return metrics.NodeTrace{}, err
 	}
-	tr := n.met.Trace(int(ep.Self()), len(cfg.Plan.Tiles), wall)
+	tr := n.met.Trace(int(ep.Self()), len(n.cfg.Plan.Tiles), wall)
 	tr.Workers = n.cfg.workers()
+	tr.Attempts = n.attempts
+	if len(n.excluded) > 0 {
+		tr.Degraded = true
+		tr.Excluded = make([]int, len(n.excluded))
+		for i, id := range n.excluded {
+			tr.Excluded[i] = int(id)
+		}
+	}
 	return tr, err
 }
 
@@ -123,6 +137,11 @@ func runNode(ctx context.Context, cfg Config, ep rpc.Endpoint, st ChunkStorage) 
 			m.Release()
 		}
 	}()
+
+	if cfg.Degraded {
+		err := n.runDegraded(ctx)
+		return n, time.Since(start), err
+	}
 
 	for t := range cfg.Plan.Tiles {
 		if err := ctx.Err(); err != nil {
@@ -412,6 +431,11 @@ func (n *node) phaseInit(ctx context.Context, t int32) (map[int32]Accumulator, e
 // fetch each chunk once; ctx bounds the wait on a batch peer's in-flight
 // read (one query's abort never stalls another's).
 func (n *node) readChunk(ctx context.Context, dataset string, m chunk.Meta) (data []byte, hit bool, err error) {
+	if len(m.Holders) > 0 && m.Disk != m.Holders[0] {
+		// The meta was remapped off its primary copy by plan.Degrade: this
+		// read is being served by a surviving replica holder.
+		n.met.ReplicaFallbackReads.Add(1)
+	}
 	load := func() ([]byte, bool, error) {
 		if cr, ok := n.st.(CachedReader); ok {
 			return cr.ReadChunkCached(dataset, m)

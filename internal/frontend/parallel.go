@@ -2,11 +2,13 @@ package frontend
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"math"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ParallelClient is the parallel-client interface of Fig 2 (the role
@@ -31,6 +33,17 @@ type ParallelClient struct {
 	// lo <= hi <= -1: the id range this client cycles through, newest ids
 	// first (hi, hi-1, ..., lo, hi, ...).
 	lo, hi int32
+
+	// DialTimeout bounds each per-node connect (0 selects DefaultDialTimeout,
+	// negative disables); ReadTimeout bounds each frame read on a node stream
+	// (0 selects DefaultStreamTimeout, negative disables). A dead node's
+	// stream fails within the timeout instead of hanging the whole query.
+	DialTimeout time.Duration
+	ReadTimeout time.Duration
+	// BusyRetries is how many times Query resubmits the whole query — under a
+	// fresh id, with jittered backoff — when every node failure is retryable
+	// (0 selects DefaultBusyRetries, negative disables).
+	BusyRetries int
 }
 
 // NewParallelClient builds a client owning the whole negative id half. Use
@@ -78,12 +91,39 @@ type NodeStream struct {
 	Chunks []*ChunkJSON
 	Stats  *DoneStats
 	Err    error
+	// Excluded marks a node whose stream failed but whose absence the
+	// surviving nodes tolerated: they completed the query degraded with this
+	// node excluded, re-homing its output onto replica holders. The chunk set
+	// across the other streams is still complete.
+	Excluded bool
 }
 
 // Query submits the spec to every node and returns the per-node streams,
 // consumed concurrently. The caller sees the output partitioned by owning
 // node — the layout a parallel consumer wants.
+//
+// A node stream that fails is tolerated when the surviving nodes' done stats
+// unanimously list that node as excluded (degraded execution re-homed its
+// output); its entry comes back with Excluded set and no chunks. Any other
+// failure fails the query with every node's error joined. When every failure
+// is retryable — admission "busy", exhausted degraded retries — the whole
+// query is resubmitted under a fresh id up to BusyRetries times with jittered
+// backoff.
 func (c *ParallelClient) Query(spec *QuerySpec) ([]NodeStream, error) {
+	retries := c.BusyRetries
+	if retries == 0 {
+		retries = DefaultBusyRetries
+	}
+	for attempt := 0; ; attempt++ {
+		streams, err := c.queryOnce(spec)
+		if err == nil || attempt >= retries || !retryableErr(err) {
+			return streams, err
+		}
+		time.Sleep(busyBackoff(attempt))
+	}
+}
+
+func (c *ParallelClient) queryOnce(spec *QuerySpec) ([]NodeStream, error) {
 	qid := c.nextID()
 	streams := make([]NodeStream, len(c.nodeAddrs))
 	var wg sync.WaitGroup
@@ -95,10 +135,27 @@ func (c *ParallelClient) Query(spec *QuerySpec) ([]NodeStream, error) {
 		}(i, addr)
 	}
 	wg.Wait()
+	allStats := make([]*DoneStats, len(streams))
 	for i := range streams {
-		if streams[i].Err != nil {
-			return streams, fmt.Errorf("frontend: node %d: %w", i, streams[i].Err)
+		allStats[i] = streams[i].Stats
+	}
+	var errs []error
+	for i := range streams {
+		if streams[i].Err == nil {
+			continue
 		}
+		if excludedTolerated(i, allStats) {
+			// Drop whatever the dead node streamed before failing: survivors
+			// re-deliver its whole re-homed output, so keeping a partial
+			// stream would double-count. Err stays set for diagnosis.
+			streams[i].Excluded = true
+			streams[i].Chunks = nil
+			continue
+		}
+		errs = append(errs, fmt.Errorf("frontend: node %d: %w", i, streams[i].Err))
+	}
+	if len(errs) > 0 {
+		return streams, errors.Join(errs...)
 	}
 	return streams, nil
 }
@@ -128,7 +185,7 @@ func (c *ParallelClient) QueryAll(specs []*QuerySpec) ([][]NodeStream, []error) 
 
 func (c *ParallelClient) queryNode(i int, addr string, qid int32, spec *QuerySpec) NodeStream {
 	out := NodeStream{Node: i}
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, timeoutOrDefault(c.DialTimeout, DefaultDialTimeout))
 	if err != nil {
 		out.Err = err
 		return out
@@ -140,6 +197,9 @@ func (c *ParallelClient) queryNode(i int, addr string, qid int32, spec *QuerySpe
 	}
 	r := bufio.NewReader(conn)
 	for {
+		if t := timeoutOrDefault(c.ReadTimeout, DefaultStreamTimeout); t > 0 {
+			conn.SetReadDeadline(time.Now().Add(t))
+		}
 		var msg Message
 		if err := ReadJSON(r, &msg); err != nil {
 			out.Err = err

@@ -132,6 +132,12 @@ type ErrorInfo struct {
 	Origin int `json:"origin"`
 	// Message is the full error text.
 	Message string `json:"message"`
+	// Retryable marks failures a fresh submission stands a chance against —
+	// an admission-queue timeout ("busy") or exhausted degraded-mode retries
+	// — as opposed to bad queries, missing datasets or fatal aborts. Clients
+	// honour it with bounded backed-off retries (Client.BusyRetries /
+	// ParallelClient.BusyRetries).
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 // QueryError is a failed query as seen through the client protocol,
@@ -143,6 +149,8 @@ type QueryError struct {
 	Origin int
 	// Message is the error text.
 	Message string
+	// Retryable mirrors ErrorInfo.Retryable.
+	Retryable bool
 }
 
 // Error names the failing node when one is known.
@@ -188,6 +196,14 @@ type DoneStats struct {
 	// Traces, on the front-end's merged done frame, assembles every node's
 	// trace — the query's full per-node, per-phase accounting.
 	Traces []metrics.NodeTrace `json:"traces,omitempty"`
+	// Degraded reports that the node completed the query with processors
+	// excluded; Excluded lists them and Attempts counts execution attempts.
+	// Clients use Excluded to tolerate the dead nodes' missing streams — a
+	// failed stream is fatal unless the surviving nodes agree its node was
+	// excluded.
+	Degraded bool  `json:"degraded,omitempty"`
+	Attempts int   `json:"attempts,omitempty"`
+	Excluded []int `json:"excluded,omitempty"`
 }
 
 // QueryTrace converts the merged done frame's traces into a QueryTrace.

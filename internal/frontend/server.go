@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,95 @@ import (
 
 	"adr/internal/metrics"
 )
+
+// Client-resilience defaults. Dials and per-frame stream reads are bounded
+// by default — an unresponsive or dead node must surface as a typed error
+// within the timeout, not hang the caller forever — and retryable failures
+// (ErrorInfo.Retryable: admission "busy", exhausted degraded retries) are
+// retried a bounded number of times with jittered exponential backoff.
+// Everywhere a timeout or retry count is configurable, 0 selects the default
+// and a negative value disables the mechanism.
+const (
+	// DefaultDialTimeout bounds connection establishment to a node or
+	// front-end.
+	DefaultDialTimeout = 10 * time.Second
+	// DefaultStreamTimeout bounds each frame read on a result stream. It
+	// must comfortably exceed the back-end's query execution time: the first
+	// frame only arrives once the node starts producing output.
+	DefaultStreamTimeout = 2 * time.Minute
+	// DefaultBusyRetries is how many times a query is resubmitted after a
+	// retryable failure before the error is returned.
+	DefaultBusyRetries = 3
+	// busyRetryBase seeds the exponential backoff between retries.
+	busyRetryBase = 50 * time.Millisecond
+)
+
+// timeoutOrDefault resolves the 0-default / negative-disable convention.
+func timeoutOrDefault(d, def time.Duration) time.Duration {
+	if d == 0 {
+		return def
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// busyBackoff returns the jittered delay before retry attempt (0-based):
+// exponential growth capped at one second, with the lower half randomized so
+// clients rejected together do not retry together.
+func busyBackoff(attempt int) time.Duration {
+	d := busyRetryBase << uint(attempt)
+	if d > time.Second {
+		d = time.Second
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// retryableErr reports whether every error in err's tree is a retryable
+// QueryError — the condition under which resubmitting the query stands a
+// chance (a single fatal cause makes retrying pointless).
+func retryableErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	type joined interface{ Unwrap() []error }
+	if j, ok := err.(joined); ok {
+		for _, e := range j.Unwrap() {
+			if !retryableErr(e) {
+				return false
+			}
+		}
+		return true
+	}
+	var qe *QueryError
+	return errors.As(err, &qe) && qe.Retryable
+}
+
+// excludedTolerated reports whether failed node i's missing stream is
+// tolerable: at least one node succeeded, and every successful node's done
+// stats list i as excluded — the mesh agreed node i died and completed the
+// query degraded without it, so i's output was re-homed to survivors.
+func excludedTolerated(i int, stats []*DoneStats) bool {
+	any := false
+	for j, st := range stats {
+		if j == i || st == nil {
+			continue
+		}
+		found := false
+		for _, e := range st.Excluded {
+			if e == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+		any = true
+	}
+	return any
+}
 
 // Server is the ADR front-end process: it accepts client connections on a
 // socket, relays each query to every back-end node's control port, merges
@@ -126,45 +216,59 @@ func (s *Server) runQuery(spec *QuerySpec, w *bufio.Writer) error {
 // relayQuery is the transport half of runQuery: fan out, merge, return the
 // aggregated stats (which may be partially filled when err != nil).
 func (s *Server) relayQuery(id int32, spec *QuerySpec, w *bufio.Writer) (*DoneStats, error) {
+	// Merge streams: forward chunk frames as they arrive, collect stats.
+	type nodeOutcome struct {
+		stats *DoneStats
+		err   error
+		// forwarded counts chunk frames already relayed to the client from
+		// this node — a failed stream that forwarded anything cannot be
+		// tolerated as excluded, because survivors re-deliver the node's whole
+		// re-homed output and the merged stream would double-count.
+		forwarded int
+	}
+	outcomes := make([]nodeOutcome, len(s.NodeAddrs))
+
+	// Dial and submit per node. A node that cannot be reached is a failed
+	// stream, not a failed query: on a degraded mesh the survivors re-home
+	// its chunks and the tolerance check below accepts the merged result.
 	conns := make([]net.Conn, len(s.NodeAddrs))
+	req := &NodeRequest{QueryID: id, Spec: *spec}
 	for i, addr := range s.NodeAddrs {
-		c, err := net.Dial("tcp", addr)
+		c, err := net.DialTimeout("tcp", addr, DefaultDialTimeout)
 		if err != nil {
-			for j := 0; j < i; j++ {
-				conns[j].Close()
-			}
-			return nil, fmt.Errorf("frontend: dial node %d at %s: %w", i, addr, err)
+			outcomes[i].err = fmt.Errorf("frontend: dial node %d at %s: %w", i, addr, err)
+			continue
+		}
+		if err := WriteJSON(c, req); err != nil {
+			outcomes[i].err = fmt.Errorf("frontend: submit to node %d: %w", i, err)
+			c.Close()
+			continue
 		}
 		conns[i] = c
 	}
 	defer func() {
 		for _, c := range conns {
-			c.Close()
+			if c != nil {
+				c.Close()
+			}
 		}
 	}()
 
-	// Submit the query to every node under the fresh query id.
-	req := &NodeRequest{QueryID: id, Spec: *spec}
-	for i, c := range conns {
-		if err := WriteJSON(c, req); err != nil {
-			return nil, fmt.Errorf("frontend: submit to node %d: %w", i, err)
-		}
-	}
-
-	// Merge streams: forward chunk frames as they arrive, collect stats.
-	type nodeOutcome struct {
-		stats *DoneStats
-		err   error
-	}
 	var wmu sync.Mutex
-	outcomes := make([]nodeOutcome, len(conns))
 	var wg sync.WaitGroup
 	for i, c := range conns {
+		if c == nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, c net.Conn) {
 			defer wg.Done()
 			br := bufio.NewReader(c)
 			for {
+				// Per-frame read deadline: a node that dies mid-stream (or
+				// never answers) surfaces as a timeout error here instead of
+				// hanging the relay — and possibly the client — forever.
+				c.SetReadDeadline(time.Now().Add(DefaultStreamTimeout))
 				var msg Message
 				if err := ReadJSON(br, &msg); err != nil {
 					outcomes[i].err = fmt.Errorf("frontend: node %d stream: %w", i, err)
@@ -179,6 +283,7 @@ func (s *Server) relayQuery(id int32, spec *QuerySpec, w *bufio.Writer) (*DoneSt
 						outcomes[i].err = err
 						return
 					}
+					outcomes[i].forwarded++
 				case "done":
 					outcomes[i].stats = msg.Stats
 					return
@@ -194,12 +299,32 @@ func (s *Server) relayQuery(id int32, spec *QuerySpec, w *bufio.Writer) (*DoneSt
 	}
 	wg.Wait()
 
+	// Collect every node's failure, not just the first: a query that fails on
+	// three nodes at once should tell the operator about all three. A failed
+	// stream is tolerated when the surviving nodes completed degraded and
+	// unanimously list that node as excluded — its chunks were re-homed onto
+	// replica holders, so the merged output is still complete.
+	allStats := make([]*DoneStats, len(outcomes))
+	for i := range outcomes {
+		allStats[i] = outcomes[i].stats
+	}
+	var errs []error
+	for i := range outcomes {
+		if outcomes[i].err != nil && !(outcomes[i].forwarded == 0 && excludedTolerated(i, allStats)) {
+			errs = append(errs, outcomes[i].err)
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+
 	total := DoneStats{Node: -1, TotalNodes: len(conns)}
 	for i := range outcomes {
-		if outcomes[i].err != nil {
-			return nil, outcomes[i].err
-		}
 		st := outcomes[i].stats
+		if st == nil {
+			// Tolerated excluded node: no stats to merge.
+			continue
+		}
 		total.Chunks += st.Chunks
 		total.BytesRead += st.BytesRead
 		total.BytesSent += st.BytesSent
@@ -212,6 +337,15 @@ func (s *Server) relayQuery(id int32, spec *QuerySpec, w *bufio.Writer) (*DoneSt
 		if st.Trace != nil {
 			total.Traces = append(total.Traces, *st.Trace)
 		}
+		if st.Degraded {
+			total.Degraded = true
+			if len(st.Excluded) > len(total.Excluded) {
+				total.Excluded = st.Excluded
+			}
+		}
+		if st.Attempts > total.Attempts {
+			total.Attempts = st.Attempts
+		}
 	}
 	wmu.Lock()
 	defer wmu.Unlock()
@@ -222,11 +356,26 @@ func (s *Server) relayQuery(id int32, spec *QuerySpec, w *bufio.Writer) (*DoneSt
 type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
+
+	// ReadTimeout bounds each frame read on the result stream (0 selects
+	// DefaultStreamTimeout, negative disables).
+	ReadTimeout time.Duration
+	// BusyRetries is how many times Query resubmits after a retryable error
+	// frame — admission "busy", exhausted degraded retries — with jittered
+	// backoff between attempts (0 selects DefaultBusyRetries, negative
+	// disables).
+	BusyRetries int
 }
 
-// Dial connects to a front-end.
+// Dial connects to a front-end with the default connect timeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout is Dial with an explicit connect timeout (0 selects
+// DefaultDialTimeout, negative disables).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeoutOrDefault(timeout, DefaultDialTimeout))
 	if err != nil {
 		return nil, err
 	}
@@ -236,13 +385,32 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// Query submits a query and collects the full result stream.
+// Query submits a query and collects the full result stream, resubmitting
+// retryable failures up to BusyRetries times. Retries only follow a clean
+// error frame — the stream stays in sync, so the same connection is reused.
 func (c *Client) Query(spec *QuerySpec) ([]*ChunkJSON, *DoneStats, error) {
+	retries := c.BusyRetries
+	if retries == 0 {
+		retries = DefaultBusyRetries
+	}
+	for attempt := 0; ; attempt++ {
+		chunks, stats, err := c.queryOnce(spec)
+		if err == nil || attempt >= retries || !retryableErr(err) {
+			return chunks, stats, err
+		}
+		time.Sleep(busyBackoff(attempt))
+	}
+}
+
+func (c *Client) queryOnce(spec *QuerySpec) ([]*ChunkJSON, *DoneStats, error) {
 	if err := WriteJSON(c.conn, spec); err != nil {
 		return nil, nil, err
 	}
 	var chunks []*ChunkJSON
 	for {
+		if t := timeoutOrDefault(c.ReadTimeout, DefaultStreamTimeout); t > 0 {
+			c.conn.SetReadDeadline(time.Now().Add(t))
+		}
 		var msg Message
 		if err := ReadJSON(c.r, &msg); err != nil {
 			return chunks, nil, err
@@ -254,7 +422,7 @@ func (c *Client) Query(spec *QuerySpec) ([]*ChunkJSON, *DoneStats, error) {
 			return chunks, msg.Stats, nil
 		case "error":
 			if msg.ErrInfo != nil {
-				return chunks, nil, &QueryError{Node: msg.ErrInfo.Node, Origin: msg.ErrInfo.Origin, Message: msg.ErrInfo.Message}
+				return chunks, nil, &QueryError{Node: msg.ErrInfo.Node, Origin: msg.ErrInfo.Origin, Message: msg.ErrInfo.Message, Retryable: msg.ErrInfo.Retryable}
 			}
 			return chunks, nil, fmt.Errorf("frontend: %s", msg.Error)
 		}
@@ -265,7 +433,7 @@ func (c *Client) Query(spec *QuerySpec) ([]*ChunkJSON, *DoneStats, error) {
 // preserving the structured failure location when the node sent one.
 func queryErrFrom(node int, msg *Message) error {
 	if msg.ErrInfo != nil {
-		return &QueryError{Node: msg.ErrInfo.Node, Origin: msg.ErrInfo.Origin, Message: msg.ErrInfo.Message}
+		return &QueryError{Node: msg.ErrInfo.Node, Origin: msg.ErrInfo.Origin, Message: msg.ErrInfo.Message, Retryable: msg.ErrInfo.Retryable}
 	}
 	return &QueryError{Node: node, Origin: -1, Message: msg.Error}
 }
@@ -275,7 +443,15 @@ func queryErrFrom(node int, msg *Message) error {
 func errInfoFrom(err error) *ErrorInfo {
 	var qe *QueryError
 	if errors.As(err, &qe) {
-		return &ErrorInfo{Node: qe.Node, Origin: qe.Origin, Message: qe.Message}
+		info := &ErrorInfo{Node: qe.Node, Origin: qe.Origin, Message: qe.Message, Retryable: qe.Retryable}
+		// A joined multi-node failure keeps the first branch's location but
+		// the full combined message, and is retryable only when every branch
+		// is — one fatal node makes resubmission pointless.
+		if j, ok := err.(interface{ Unwrap() []error }); ok && len(j.Unwrap()) > 1 {
+			info.Message = err.Error()
+			info.Retryable = retryableErr(err)
+		}
+		return info
 	}
-	return &ErrorInfo{Node: -1, Origin: -1, Message: err.Error()}
+	return &ErrorInfo{Node: -1, Origin: -1, Message: err.Error(), Retryable: retryableErr(err)}
 }

@@ -141,6 +141,11 @@ type Loader struct {
 	Index IndexKind
 	// GridSide sizes the grid bucket index (0 = default).
 	GridSide int
+	// Replicas is the number of copies stored per chunk (chained replica
+	// placement; see decluster.Replicate). <= 1 stores a single copy, the
+	// classic ADR layout. With >= 2 copies on a multi-node farm, queries can
+	// keep running across a single node's death (degraded-mode execution).
+	Replicas int
 }
 
 // Load stores a dataset onto the farm and returns its catalog. Chunk IDs
@@ -176,8 +181,10 @@ func (l *Loader) Load(name string, sp space.AttrSpace, chunks []*chunk.Chunk) (*
 		assigner = decluster.Hilbert{Bounds: sp.Bounds}
 	}
 	disks := assigner.Assign(entries, l.Farm.NumDisks())
+	holders := decluster.Replicate(disks, l.Farm.NumDisks(), l.Farm.DisksPerNode, l.Replicas)
 	// Step 3: move chunks to disks (parallel across disks, as the utility
-	// functions of the dataset service would drive the real farm).
+	// functions of the dataset service would drive the real farm). With
+	// replication every holder disk receives a copy.
 	metas := make([]chunk.Meta, len(chunks))
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(chunks))
@@ -185,6 +192,9 @@ func (l *Loader) Load(name string, sp space.AttrSpace, chunks []*chunk.Chunk) (*
 	for i, c := range chunks {
 		c.Meta.Disk = int32(disks[i])
 		c.Meta.Node = int32(l.Farm.NodeOf(disks[i]))
+		if len(holders[i]) > 1 {
+			c.Meta.Holders = holders[i]
+		}
 		data := chunk.Encode(c)
 		c.Meta.Bytes = int64(len(data))
 		metas[i] = c.Meta
@@ -193,13 +203,16 @@ func (l *Loader) Load(name string, sp space.AttrSpace, chunks []*chunk.Chunk) (*
 		go func(m chunk.Meta, data []byte) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			st, err := l.Farm.Store(int(m.Disk))
-			if err != nil {
-				errCh <- err
-				return
-			}
-			if err := st.Put(name, m.ID, data); err != nil {
-				errCh <- err
+			for _, h := range m.HolderDisks() {
+				st, err := l.Farm.Store(int(h))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := st.Put(name, m.ID, data); err != nil {
+					errCh <- err
+					return
+				}
 			}
 		}(metas[i], data)
 	}

@@ -43,6 +43,9 @@ type chunkJSON struct {
 	Items int32     `json:"items"`
 	Disk  int32     `json:"disk"`
 	Node  int32     `json:"node"`
+	// Holders lists every disk holding a copy when the dataset was loaded
+	// with -replicas >= 2 (primary first); omitted for unreplicated chunks.
+	Holders []int32 `json:"holders,omitempty"`
 }
 
 func rectToJSON(r space.Rect) ([]float64, []float64) {
@@ -91,6 +94,7 @@ func SaveManifest(dataDir string, nodes, disksPerNode int, datasets []*Dataset) 
 			dm.Chunks = append(dm.Chunks, chunkJSON{
 				ID: int32(c.ID), Lo: clo, Hi: chi,
 				Bytes: c.Bytes, Items: c.Items, Disk: c.Disk, Node: c.Node,
+				Holders: c.Holders,
 			})
 		}
 		m.Datasets = append(m.Datasets, dm)
@@ -140,9 +144,18 @@ func LoadManifest(dataDir string) (*Manifest, []*Dataset, error) {
 			if cj.Disk < 0 || cj.Disk > maxDisk || cj.Node != cj.Disk/int32(m.DisksPerNode) {
 				return nil, nil, fmt.Errorf("layout: dataset %s chunk %d has inconsistent placement", dm.Name, cj.ID)
 			}
+			if len(cj.Holders) > 0 && cj.Holders[0] != cj.Disk {
+				return nil, nil, fmt.Errorf("layout: dataset %s chunk %d holders do not start at primary disk", dm.Name, cj.ID)
+			}
+			for _, h := range cj.Holders {
+				if h < 0 || h > maxDisk {
+					return nil, nil, fmt.Errorf("layout: dataset %s chunk %d holder disk %d out of range", dm.Name, cj.ID, h)
+				}
+			}
 			meta := chunk.Meta{
 				ID: chunk.ID(cj.ID), Dataset: dm.Name, MBR: mbr,
 				Bytes: cj.Bytes, Items: cj.Items, Disk: cj.Disk, Node: cj.Node,
+				Holders: cj.Holders,
 			}
 			ds.Chunks = append(ds.Chunks, meta)
 			entries = append(entries, index.Entry{MBR: mbr, ID: meta.ID})

@@ -84,6 +84,10 @@ type Node struct {
 	// BytesRead still count them — the query consumed the data either way.
 	SharedReads  atomic.Int64
 	DedupedBytes atomic.Int64
+	// ReplicaFallbackReads counts chunk reads served from a non-primary
+	// replica holder because the primary's node was excluded from the query
+	// (degraded-mode execution).
+	ReplicaFallbackReads atomic.Int64
 	// DecodeNanos is the cumulative wall time workers spent in chunk.Decode,
 	// and QueueWaitNanos the cumulative time work items waited in the
 	// pipeline queue before a worker picked them up. Both are summed across
@@ -141,10 +145,11 @@ type Snapshot struct {
 	MsgsRecv         int64
 	AggOps           int64
 	CombineOps       int64
-	CacheHits        int64
-	SharedReads      int64
-	DedupedBytes     int64
-	DecodeNanos      int64
+	CacheHits            int64
+	SharedReads          int64
+	DedupedBytes         int64
+	ReplicaFallbackReads int64
+	DecodeNanos          int64
 	QueueWaitNanos   int64
 	CreditStalls     int64
 	CreditStallNanos int64
@@ -166,6 +171,7 @@ func (n *Node) Snapshot() Snapshot {
 	s.CacheHits = n.CacheHits.Load()
 	s.SharedReads = n.SharedReads.Load()
 	s.DedupedBytes = n.DedupedBytes.Load()
+	s.ReplicaFallbackReads = n.ReplicaFallbackReads.Load()
 	s.DecodeNanos = n.DecodeNanos.Load()
 	s.QueueWaitNanos = n.QueueWaitNanos.Load()
 	s.CreditStalls = n.CreditStalls.Load()
@@ -190,6 +196,7 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.CacheHits += o.CacheHits
 	s.SharedReads += o.SharedReads
 	s.DedupedBytes += o.DedupedBytes
+	s.ReplicaFallbackReads += o.ReplicaFallbackReads
 	s.DecodeNanos += o.DecodeNanos
 	s.QueueWaitNanos += o.QueueWaitNanos
 	s.CreditStalls += o.CreditStalls

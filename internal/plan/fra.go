@@ -52,7 +52,7 @@ func (pl *Planner) planFRA(w *Workload, order []int32) (*Plan, error) {
 		p.Home[c] = owner
 		t.Locals[owner] = append(t.Locals[owner], c)
 		for q := 0; q < procs; q++ {
-			if int32(q) != owner {
+			if int32(q) != owner && !pl.excluded(int32(q)) {
 				t.Ghosts[q] = append(t.Ghosts[q], c)
 			}
 		}

@@ -68,6 +68,9 @@ func (pl *Planner) planHybrid(w *Workload, order []int32) (*Plan, error) {
 		best := int(owner)
 		var bestScore int64
 		for q := 0; q < procs; q++ {
+			if pl.excluded(int32(q)) {
+				continue
+			}
 			// Penalize processors already loaded beyond the mean so work
 			// spreads even when affinity is concentrated.
 			over := load[q] - meanLoad

@@ -210,7 +210,16 @@ func (p *Plan) NumTiles() int { return len(p.Tiles) }
 // Planner builds plans for workloads on a machine.
 type Planner struct {
 	Machine Machine
+	// Exclude is the per-query node-exclusion set for degraded-mode planning:
+	// processors known to be dead. Excluded processors are assigned no ghosts
+	// (FRA) and are never chosen as hybrid homes. The workload must already
+	// have been remapped away from excluded nodes (see Degrade) — Plan rejects
+	// a workload whose chunk metas still reference an excluded processor.
+	Exclude map[int32]bool
 }
+
+// excluded reports whether processor q is in the exclusion set.
+func (pl *Planner) excluded(q int32) bool { return pl.Exclude[q] }
 
 // NewPlanner returns a planner for the given machine. AccMemBytes must be
 // positive and Procs at least 1.
@@ -247,16 +256,23 @@ func (pl *Planner) Plan(s Strategy, w *Workload) (*Plan, error) {
 	}
 }
 
-// checkOwners verifies every chunk's owning node is a valid processor.
+// checkOwners verifies every chunk's owning node is a valid, non-excluded
+// processor.
 func (pl *Planner) checkOwners(w *Workload) error {
 	for i, m := range w.Inputs {
 		if m.Node < 0 || int(m.Node) >= pl.Machine.Procs {
 			return fmt.Errorf("plan: input %d owned by node %d, machine has %d", i, m.Node, pl.Machine.Procs)
 		}
+		if pl.excluded(m.Node) {
+			return fmt.Errorf("plan: input %d owned by excluded node %d", i, m.Node)
+		}
 	}
 	for o, m := range w.Outputs {
 		if m.Node < 0 || int(m.Node) >= pl.Machine.Procs {
 			return fmt.Errorf("plan: output %d owned by node %d, machine has %d", o, m.Node, pl.Machine.Procs)
+		}
+		if pl.excluded(m.Node) {
+			return fmt.Errorf("plan: output %d owned by excluded node %d", o, m.Node)
 		}
 	}
 	return nil

@@ -31,6 +31,7 @@ type InprocFabric struct {
 	mu        sync.Mutex
 	endpoints []*inprocEndpoint
 	closed    bool
+	degraded  bool
 	met       *meters
 }
 
@@ -86,6 +87,13 @@ type InprocOptions struct {
 	// FwdBudgetBytes caps each sender's in-flight payload bytes across all
 	// destinations; 0 disables the budget.
 	FwdBudgetBytes int64
+	// Degraded selects the degraded failure model, mirroring
+	// TCPOptions.Degraded: a peer's death no longer fails surviving
+	// endpoints' Recv. Each survivor instead receives a synthetic
+	// Message{Src: deadPeer, Type: MsgPeerDown}, once per dead peer, and
+	// keeps exchanging traffic with the rest of the fabric. Sends to the
+	// dead peer still fail fast with a *PeerError.
+	Degraded bool
 }
 
 // NewInprocFabric builds a fabric of n in-process nodes. depth <= 0 selects
@@ -104,7 +112,7 @@ func NewInprocFabricOpts(n int, opts InprocOptions) (*InprocFabric, error) {
 	if depth <= 0 {
 		depth = DefaultInboxDepth
 	}
-	f := &InprocFabric{met: newMeters("inproc", n)}
+	f := &InprocFabric{met: newMeters("inproc", n), degraded: opts.Degraded}
 	for i := 0; i < n; i++ {
 		ep := &inprocEndpoint{
 			fabric:   f,
@@ -174,9 +182,11 @@ func (f *InprocFabric) FlowHighWater() int64 {
 }
 
 // notifyPeerDown marks every surviving endpoint failed because peer id
-// died, and reclaims each survivor's outstanding credit toward it. During a
-// fabric-wide Close this is a shutdown, not a failure, and stays out of the
-// metrics.
+// died, and reclaims each survivor's outstanding credit toward it. On a
+// degraded fabric survivors stay up and get a synthetic MsgPeerDown in
+// their inbox instead. During a fabric-wide Close this is a shutdown, not a
+// failure, and stays out of the metrics (and delivers no peer-down
+// messages).
 func (f *InprocFabric) notifyPeerDown(id NodeID) {
 	f.mu.Lock()
 	shutdown := f.closed
@@ -189,8 +199,26 @@ func (f *InprocFabric) notifyPeerDown(id NodeID) {
 			continue
 		}
 		ep.reclaimFlow(id)
+		if f.degraded {
+			if !shutdown {
+				ep.notifyDown(id)
+			}
+			continue
+		}
 		ep.failPeer(&PeerError{Peer: id, Op: "recv", Err: ErrClosed})
 	}
+}
+
+// notifyDown delivers the degraded-mode synthetic peer-down message into
+// this endpoint's inbox on its own goroutine (a full inbox must not block
+// the dying peer's close path); the endpoint's own shutdown abandons it.
+func (e *inprocEndpoint) notifyDown(peer NodeID) {
+	go func() {
+		select {
+		case e.inbox <- Message{Src: peer, Dst: e.id, Type: MsgPeerDown}:
+		case <-e.done:
+		}
+	}()
 }
 
 // reclaimFlow tears down this sender's flow state toward a dead peer: the

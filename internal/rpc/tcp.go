@@ -81,6 +81,7 @@ type TCPNode struct {
 	once        sync.Once
 	met         *meters
 	sendTimeout time.Duration
+	degraded    bool
 
 	// Flow control (nil gates when unconfigured): windowBytes is the
 	// per-peer in-flight byte window each connection enforces, budget the
@@ -197,6 +198,14 @@ type TCPOptions struct {
 	// across all peers combined — the node's total forwarding memory. 0
 	// disables the global budget.
 	FwdBudgetBytes int64
+	// Degraded selects the degraded failure model: a peer's death no longer
+	// fails the whole endpoint. Instead the endpoint keeps receiving from
+	// surviving peers and a synthetic Message{Src: deadPeer, Type:
+	// MsgPeerDown} is delivered through Recv, once per dead peer, so the
+	// engine can re-plan around the loss. Sends to a dead peer still fail
+	// fast with a *PeerError. Mesh establishment remains strict — a node
+	// that never joins is a startup error, not a degraded peer.
+	Degraded bool
 }
 
 func (o *TCPOptions) defaults() {
@@ -247,6 +256,7 @@ func NewTCPNodeWithListener(self NodeID, addrs []string, ln net.Listener, opts T
 		conns:       make(map[NodeID]*tcpConn),
 		met:         newMeters("tcp", len(addrs)),
 		sendTimeout: opts.SendTimeout,
+		degraded:    opts.Degraded,
 		windowBytes: opts.FwdWindowBytes,
 		budget:      newFlowWindow(opts.FwdBudgetBytes),
 	}
@@ -363,8 +373,9 @@ func (n *TCPNode) flowCharged(conn *tcpConn, m *Message) bool {
 
 // failConn records a connection failure: the peer is marked dead (with
 // metrics), its flow-control state is torn down, and the endpoint enters
-// the failed state so blocked receivers learn of it. During Close the error
-// is the shutdown, not a peer failure, and is not counted.
+// the failed state so blocked receivers learn of it — or, on a degraded
+// fabric, stays up and delivers a synthetic MsgPeerDown instead. During
+// Close the error is the shutdown, not a peer failure, and is not counted.
 func (n *TCPNode) failConn(conn *tcpConn, err error) {
 	select {
 	case <-n.done:
@@ -377,6 +388,12 @@ func (n *TCPNode) failConn(conn *tcpConn, err error) {
 	if conn.fail(err) {
 		n.met.down(conn.peer)
 		n.teardownConn(conn)
+		if n.degraded {
+			n.notifyDown(conn.peer)
+		}
+	}
+	if n.degraded {
+		return
 	}
 	n.failOnce.Do(func() {
 		n.failMu.Lock()
@@ -384,6 +401,19 @@ func (n *TCPNode) failConn(conn *tcpConn, err error) {
 		n.failMu.Unlock()
 		close(n.failCh)
 	})
+}
+
+// notifyDown delivers the degraded-mode synthetic peer-down message for a
+// dead peer into this endpoint's own inbox, exactly once per peer (guarded
+// by the caller's conn.fail). Delivery runs on its own goroutine so failure
+// handling never blocks behind a full inbox; shutdown abandons it.
+func (n *TCPNode) notifyDown(peer NodeID) {
+	go func() {
+		select {
+		case n.inbox <- Message{Src: peer, Dst: n.self, Type: MsgPeerDown}:
+		case <-n.done:
+		}
+	}()
 }
 
 // teardownConn releases a dead connection's resources: the credit window
