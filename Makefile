@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check test-failure bench bench-cache bench-engine bench-sharedscan bench-flow bench-failover docs clean
+.PHONY: all build test race vet fmt check test-failure bench bench-cache bench-engine bench-sharedscan bench-flow bench-failover bench-compress docs clean
 
 all: check
 
@@ -16,6 +16,10 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
 # Failure-path tests: peer death, send timeouts, abort broadcast, dispatcher
 # late messages, the store fd-lifetime race, cache coherence under
 # concurrency, admission-control recovery, shared-scan batches surviving a
@@ -23,14 +27,16 @@ vet:
 # ownership sweep (credit windows under failure, pool-balance leak checks,
 # payload recycling on dead-peer sends), and the degraded-mode failover suite
 # (kill-a-node-mid-query on both transports, client busy-retry/timeout/
-# excluded-tolerance) — race-checked, bounded so a reintroduced hang fails
-# fast.
+# excluded-tolerance), and the compression sweep (serial equivalence with
+# compressed farms on both transports, mixed compressing/raw fleets,
+# compressed-replica degraded retries, pool-balance checks on compressed
+# failure paths) — race-checked, bounded so a reintroduced hang fails fast.
 test-failure:
-	$(GO) test -race -timeout 120s -run 'Fail|Fault|Abort|Death|Late|Timeout|Malformed|Race|Admission|Compact|CacheConcurrent|Inflight|SharedBatch|SharedScan|Flow|Credit|Leak|Recycles|Retires|Degraded' ./internal/rpc/... ./internal/engine/... ./internal/backend/... ./internal/layout/... ./internal/frontend/...
+	$(GO) test -race -timeout 120s -run 'Fail|Fault|Abort|Death|Late|Timeout|Malformed|Race|Admission|Compact|CacheConcurrent|Inflight|SharedBatch|SharedScan|Flow|Credit|Leak|Recycles|Retires|Degraded|Compress' ./internal/rpc/... ./internal/engine/... ./internal/backend/... ./internal/layout/... ./internal/frontend/...
 
-check: build vet test
+check: build fmt vet test bench-compress
 
-bench: bench-cache bench-engine bench-sharedscan bench-flow bench-failover
+bench: bench-cache bench-engine bench-sharedscan bench-flow bench-failover bench-compress
 	$(GO) run ./cmd/adr-bench -quick
 
 # Cache benchmark: cold vs warm disk reads for a repeated range-query sweep,
@@ -63,6 +69,13 @@ bench-flow:
 # actually ran.
 bench-failover:
 	BENCH_JSON=BENCH_8.json $(GO) test -run '^$$' -bench DegradedQuery -benchtime 1x .
+
+# Compression benchmark: the same grid-quantized query on a raw vs a
+# columnar-compressed farm for every strategy, summarized into BENCH_9.json.
+# Fails if results diverge or the forward-heavy DA run reduces disk-read or
+# wire bytes by less than 1.5x.
+bench-compress:
+	BENCH_JSON=BENCH_9.json $(GO) test -run '^$$' -bench CompressedScan -benchtime 1x .
 
 # Documentation checks: README flag tables vs registered flags, markdown
 # links and DESIGN.md section cross-references, and the godoc package-

@@ -25,6 +25,7 @@ import (
 
 	"adr"
 
+	"adr/internal/chunk"
 	"adr/internal/decluster"
 	"adr/internal/emulator"
 	"adr/internal/engine"
@@ -1071,6 +1072,162 @@ func BenchmarkForwardBackpressure(b *testing.B) {
 	if ratio > 1.5 {
 		b.Fatalf("flow control regressed the balanced workload: %.2fx wall time (%v vs %v)",
 			ratio, balFlowWall, balBareWall)
+	}
+}
+
+// BenchmarkCompressedScan measures end-to-end chunk compression on the
+// workload it exists for: grid-quantized sensor readings, whose coordinates
+// sit on a regular lattice so the columnar XOR-delta codec collapses them.
+// The same query runs on a raw farm and a columnar-compressed farm for every
+// strategy; results must be byte-identical, and on the forward-heavy DA run
+// the compressed farm must read at least 1.5x fewer bytes from disk and put
+// at least 1.5x fewer bytes on the wire. With BENCH_JSON set, a JSON summary
+// (per-strategy byte totals and reduction ratios) is written to that path.
+func BenchmarkCompressedScan(b *testing.B) {
+	const nodes = 4
+	region := adr.R(0, 256, 0, 256)
+	// Quantized coordinates: 1024 lattice steps per axis, exactly
+	// representable in float64, the shape real instrument grids have.
+	rng := rand.New(rand.NewSource(31))
+	items := make([]adr.Item, 65536)
+	for i := range items {
+		items[i] = adr.Item{
+			Coord: adr.Pt(float64(rng.Intn(1024))/4, float64(rng.Intn(1024))/4),
+			Value: adr.EncodeValue(int64(i % 512)),
+		}
+	}
+	grid, err := adr.NewGrid(region, 16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inChunks, err := adr.PartitionGrid(items, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	outGrid, err := adr.NewGrid(region, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	openRepo := func(codec chunk.Codec) *adr.Repository {
+		repo, err := adr.NewRepository(adr.Options{Nodes: nodes, StoreDir: b.TempDir(), Codec: codec})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := repo.LoadDataset("pts", adr.AttrSpace{Name: "in", Bounds: region}, inChunks); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := repo.LoadDataset("img", adr.AttrSpace{Name: "out", Bounds: region}, adr.GridChunks(outGrid)); err != nil {
+			b.Fatal(err)
+		}
+		return repo
+	}
+	raw := openRepo(chunk.CodecNone)
+	defer raw.Close()
+	comp := openRepo(chunk.CodecColumnar)
+	defer comp.Close()
+
+	canon := func(chunks []*adr.Chunk) string {
+		var lines []string
+		for _, c := range chunks {
+			for _, it := range c.Items {
+				v, _ := adr.DecodeValue(it.Value)
+				lines = append(lines, fmt.Sprintf("%g,%g=%d", it.Coord.Coords[0], it.Coord.Coords[1], v))
+			}
+		}
+		sort.Strings(lines)
+		return strings.Join(lines, "\n")
+	}
+	runQ := func(repo *adr.Repository, s adr.Strategy) (string, metrics.Snapshot) {
+		res, err := repo.Execute(context.Background(), &adr.Query{
+			Input: "pts", Output: "img", Strategy: s,
+			App: &adr.RasterApp{Op: adr.Sum, CellsPerDim: 4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Chunks) == 0 {
+			b.Fatal("no results")
+		}
+		return canon(res.Chunks), res.Report.Total()
+	}
+	ratio := func(raw, comp int64) float64 {
+		if comp == 0 {
+			return 0
+		}
+		return float64(raw) / float64(comp)
+	}
+
+	type stratRow struct {
+		Strategy        string  `json:"strategy"`
+		RawReadBytes    int64   `json:"raw_read_bytes"`
+		CompReadBytes   int64   `json:"compressed_read_bytes"`
+		RawSentBytes    int64   `json:"raw_sent_bytes"`
+		CompSentBytes   int64   `json:"compressed_sent_bytes"`
+		ReadReduction   float64 `json:"read_reduction_x"`
+		SentReduction   float64 `json:"sent_reduction_x"`
+		ResultIdentical bool    `json:"result_identical"`
+	}
+	var rows []stratRow
+	var daRead, daSent float64
+	for _, s := range []adr.Strategy{adr.FRA, adr.SRA, adr.DA, adr.Hybrid} {
+		b.Run(s.String(), func(b *testing.B) {
+			var rawOut, compOut string
+			var rawT, compT metrics.Snapshot
+			for i := 0; i < b.N; i++ {
+				rawOut, rawT = runQ(raw, s)
+				compOut, compT = runQ(comp, s)
+			}
+			if rawOut != compOut {
+				b.Fatalf("%s: compressed result diverges from raw result", s)
+			}
+			if compT.CompressedBytes == 0 {
+				b.Fatalf("%s: compressed run consumed no compressed payloads", s)
+			}
+			row := stratRow{
+				Strategy:        s.String(),
+				RawReadBytes:    rawT.BytesRead,
+				CompReadBytes:   compT.BytesRead,
+				RawSentBytes:    rawT.BytesSent,
+				CompSentBytes:   compT.BytesSent,
+				ReadReduction:   ratio(rawT.BytesRead, compT.BytesRead),
+				SentReduction:   ratio(rawT.BytesSent, compT.BytesSent),
+				ResultIdentical: true,
+			}
+			rows = append(rows, row)
+			b.ReportMetric(row.ReadReduction, "read-x")
+			b.ReportMetric(row.SentReduction, "sent-x")
+			if s == adr.DA {
+				daRead, daSent = row.ReadReduction, row.SentReduction
+			}
+		})
+	}
+
+	if daRead == 0 && daSent == 0 {
+		return // a -bench filter skipped the DA leg; nothing to gate on
+	}
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		out := map[string]any{
+			"benchmark":           "CompressedScan",
+			"nodes":               nodes,
+			"codec":               chunk.CodecColumnar.String(),
+			"items":               len(items),
+			"strategies":          rows,
+			"da_read_reduction_x": daRead,
+			"da_sent_reduction_x": daSent,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if daRead < 1.5 {
+		b.Fatalf("compression ineffective on disk: DA read reduction %.2fx, want >= 1.5x", daRead)
+	}
+	if daSent < 1.5 {
+		b.Fatalf("compression ineffective on the wire: DA sent reduction %.2fx, want >= 1.5x", daSent)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"adr/internal/chunk"
 	"adr/internal/layout"
 	"adr/internal/space"
 )
@@ -49,11 +50,17 @@ func main() {
 func describe(ds *layout.Dataset, ndisks int) {
 	fmt.Printf("dataset %q: space %q %v\n", ds.Name, ds.Space.Name, ds.Space.Bounds)
 	var bytes int64
+	var stored int64
+	var compressed int
 	var items int64
 	perDisk := make([]int64, ndisks)
 	perNode := map[int32]int64{}
 	for _, c := range ds.Chunks {
 		bytes += c.Bytes
+		stored += c.StoredOrRaw()
+		if c.StoredBytes > 0 {
+			compressed++
+		}
 		items += int64(c.Items)
 		if int(c.Disk) < ndisks {
 			perDisk[c.Disk] += c.Bytes
@@ -61,6 +68,11 @@ func describe(ds *layout.Dataset, ndisks int) {
 		perNode[c.Node] += c.Bytes
 	}
 	fmt.Printf("  %d chunks, %d items, %.2f MB\n", len(ds.Chunks), items, float64(bytes)/1e6)
+	if ds.Codec != chunk.CodecNone && bytes > 0 {
+		fmt.Printf("  compression (%s): %.2f MB on disk vs %.2f MB logical, ratio %.3f (%d/%d chunks compressed)\n",
+			ds.Codec, float64(stored)/1e6, float64(bytes)/1e6,
+			float64(stored)/float64(bytes), compressed, len(ds.Chunks))
+	}
 
 	// Placement balance.
 	var maxDisk, minDisk int64 = 0, 1 << 62

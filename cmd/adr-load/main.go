@@ -48,6 +48,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for -synthetic")
 	output := flag.Bool("output", false, "declare a regular-array output dataset (empty chunks)")
 	replicas := flag.Int("replicas", 1, "copies of each chunk, chained-declustered across disks (1 = unreplicated)")
+	compress := flag.String("compress", "none", "store chunks compressed: none, flate or columnar")
+	minRatio := flag.Float64("compress-min-ratio", 0, "store raw when compressed/raw exceeds this ratio (0 = default 0.9)")
 	flag.Parse()
 
 	if *dataDir == "" || *name == "" || *boundsFlag == "" {
@@ -123,7 +125,11 @@ func main() {
 		fatal(fmt.Errorf("choose one of -csv, -synthetic or -output"))
 	}
 
-	loader := &layout.Loader{Farm: farm, Replicas: *replicas}
+	codec, err := chunk.ParseCodec(*compress)
+	if err != nil {
+		fatal(err)
+	}
+	loader := &layout.Loader{Farm: farm, Replicas: *replicas, Codec: codec, MinRatio: *minRatio}
 	sp := space.AttrSpace{Name: *name + "-space", Bounds: bounds}
 	ds, err := loader.Load(*name, sp, chunks)
 	if err != nil {
@@ -135,6 +141,14 @@ func main() {
 	}
 	fmt.Printf("loaded %q: %d chunks, %d bytes, %d datasets in manifest\n",
 		*name, len(ds.Chunks), ds.TotalBytes(), len(all))
+	if codec != chunk.CodecNone {
+		stored := ds.StoredTotalBytes()
+		logical := ds.TotalBytes()
+		if logical > 0 {
+			fmt.Printf("compressed (%s): %d bytes on disk, ratio %.3f\n",
+				codec, stored, float64(stored)/float64(logical))
+		}
+	}
 }
 
 func parseBounds(s string) (space.Rect, error) {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"adr/internal/backend"
+	"adr/internal/chunk"
 	"adr/internal/metrics"
 	"adr/internal/rpc"
 )
@@ -47,6 +48,7 @@ type options struct {
 	fwdWindow    *int64
 	fwdBudget    *int64
 	degraded     *bool
+	compress     *string
 }
 
 // registerFlags declares the daemon's full flag set on fs.
@@ -69,6 +71,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 		fwdWindow:    fs.Int64("fwd-window-bytes", 0, "per-peer in-flight forwarded-byte window; senders block until receivers consume (0 disables)"),
 		fwdBudget:    fs.Int64("fwd-budget-bytes", 0, "node-wide in-flight forwarded-byte budget across all peers (0 disables)"),
 		degraded:     fs.Bool("degraded", false, "survive back-end node deaths by re-planning onto replica holders (needs -replicas >= 2 at load time; same value on every node)"),
+		compress:     fs.String("compress", "none", "default codec for engine payloads on the wire: none, flate or columnar (query specs override)"),
 	}
 }
 
@@ -90,6 +93,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "adr-node: id %d outside mesh of %d nodes\n", *id, len(addrs))
 		os.Exit(2)
 	}
+	codec, err := chunk.ParseCodec(*opt.compress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adr-node:", err)
+		os.Exit(2)
+	}
 
 	srv, err := backend.Start(backend.Config{
 		Node:           rpc.NodeID(*id),
@@ -108,6 +116,7 @@ func main() {
 		FwdWindowBytes: *opt.fwdWindow,
 		FwdBudgetBytes: *opt.fwdBudget,
 		Degraded:       *opt.degraded,
+		Codec:          codec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adr-node:", err)
@@ -125,6 +134,9 @@ func main() {
 	}
 	if *opt.degraded {
 		fmt.Printf("adr-node %d: degraded-mode execution on: peer deaths re-plan onto replica holders\n", *id)
+	}
+	if codec != chunk.CodecNone {
+		fmt.Printf("adr-node %d: wire compression on: %s\n", *id, codec)
 	}
 
 	if *metricsAddr != "" {

@@ -96,6 +96,12 @@ type Config struct {
 	// node. Queries over unreplicated datasets still abort mesh-wide when a
 	// chunk has no surviving copy.
 	Degraded bool
+	// Codec is this node's default compression codec for engine payloads —
+	// forwarded chunks, ghost accumulators, shipped finals, result
+	// write-backs (set by adr-node -compress). A query spec naming its own
+	// codec overrides it. Receivers decompress self-describing payloads
+	// regardless of their own setting, so mixed fleets interoperate.
+	Codec chunk.Codec
 }
 
 // DefaultRequestTimeout is how long a fresh control connection may take to
@@ -392,6 +398,12 @@ func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace met
 	if err != nil {
 		return trace, 0, err
 	}
+	codec := s.cfg.Codec
+	if c, set, err := spec.ParseCodec(); err != nil {
+		return trace, 0, err
+	} else if set {
+		codec = c
+	}
 
 	workload, err := core.BuildWorkload(in, out, inBox, outBox, space.IdentityMapper{})
 	if err != nil {
@@ -417,6 +429,7 @@ func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace met
 		Workers:        s.cfg.Workers,
 		FwdWindowBytes: s.cfg.FwdWindowBytes,
 		FwdBudgetBytes: s.cfg.FwdBudgetBytes,
+		Codec:          codec,
 		OnResult: func(node rpc.NodeID, c *chunk.Chunk) error {
 			streamMu.Lock()
 			defer streamMu.Unlock()

@@ -27,9 +27,15 @@ type Meta struct {
 	// MBR encompasses the coordinates of all items in the chunk, in the
 	// dataset's attribute space.
 	MBR space.Rect
-	// Bytes is the size of the chunk's encoded payload. It is the quantity
-	// every I/O and communication volume figure in the paper counts.
+	// Bytes is the size of the chunk's raw (uncompressed) encoded payload.
+	// It is the logical quantity every I/O and communication volume figure
+	// in the paper counts, and what the planner sizes work by — compression
+	// never changes it.
 	Bytes int64
+	// StoredBytes is the on-disk payload size when the loader compressed the
+	// chunk (the ADRZ envelope length). Zero means the chunk is stored raw,
+	// i.e. StoredOrRaw() == Bytes.
+	StoredBytes int64
 	// Items is the number of data items in the chunk.
 	Items int32
 	// Disk is the global disk the chunk is placed on; Node is the back-end
@@ -46,6 +52,15 @@ type Meta struct {
 	// than one; degraded-mode execution reads a surviving holder when the
 	// primary's node is dead.
 	Holders []int32
+}
+
+// StoredOrRaw returns the payload size as stored on disk: StoredBytes when
+// the chunk was compressed at load time, else the raw Bytes.
+func (m *Meta) StoredOrRaw() int64 {
+	if m.StoredBytes > 0 {
+		return m.StoredBytes
+	}
+	return m.Bytes
 }
 
 // HolderDisks returns every global disk holding a copy of the chunk: the

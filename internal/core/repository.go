@@ -57,6 +57,17 @@ type Options struct {
 	// <= 1 loads unreplicated. Degraded-mode execution needs >= 2 to re-plan
 	// around a dead node.
 	Replicas int
+	// Codec compresses chunk payloads end to end: LoadDataset stores
+	// compressed segments (layout.Loader.Codec), and every query executes
+	// with engine.Config.Codec set so forwarded chunks, ghost accumulators
+	// and result write-backs go out compressed too. Readers decompress
+	// self-describing payloads regardless of this setting. The zero value
+	// (chunk.CodecNone) keeps the classic raw layout.
+	Codec chunk.Codec
+	// CompressMinRatio is the adaptive-skip threshold for Codec (a chunk
+	// that does not shrink below this fraction of its raw size stays raw);
+	// 0 selects chunk.DefaultMinRatio.
+	CompressMinRatio float64
 	// FwdWindowBytes, when > 0, bounds each node's in-flight forwarded
 	// bytes toward any single peer: the fabric charges every chunk payload
 	// against the destination's credit window and senders block until the
@@ -81,6 +92,8 @@ type Repository struct {
 	machine  plan.Machine
 	workers  int
 	replicas int
+	codec    chunk.Codec
+	minRatio float64
 	// fwdWindow/fwdBudget configure the fabric's forwarding flow control
 	// for every query this repository executes (0 = disabled).
 	fwdWindow int64
@@ -125,6 +138,8 @@ func NewRepository(opts Options) (*Repository, error) {
 		machine:   plan.Machine{Procs: opts.Nodes, AccMemBytes: opts.AccMemBytes},
 		workers:   opts.Workers,
 		replicas:  opts.Replicas,
+		codec:     opts.Codec,
+		minRatio:  opts.CompressMinRatio,
 		fwdWindow: opts.FwdWindowBytes,
 		fwdBudget: opts.FwdBudgetBytes,
 		datasets:  make(map[string]*layout.Dataset),
@@ -163,7 +178,7 @@ func (r *Repository) LoadDataset(name string, sp space.AttrSpace, chunks []*chun
 			return nil, err
 		}
 	}
-	loader := &layout.Loader{Farm: r.farm, Replicas: r.replicas}
+	loader := &layout.Loader{Farm: r.farm, Replicas: r.replicas, Codec: r.codec, MinRatio: r.minRatio}
 	ds, err := loader.Load(name, sp, chunks)
 	if err != nil {
 		return nil, err
@@ -392,6 +407,7 @@ func (r *Repository) Execute(ctx context.Context, q *Query) (*Result, error) {
 		OutputDataset:  q.Output,
 		ResultDataset:  q.ResultDataset,
 		Workers:        r.workers,
+		Codec:          r.codec,
 		FwdWindowBytes: r.fwdWindow,
 		FwdBudgetBytes: r.fwdBudget,
 		OnResult: func(node rpc.NodeID, c *chunk.Chunk) error {

@@ -143,6 +143,18 @@ type Config struct {
 	// the decode+aggregate hot path instead of one.
 	Workers int
 
+	// Codec compresses engine-originated payloads: forwarded input chunks
+	// read from raw storage, ghost accumulators (always flate — they are
+	// app-defined encodings the chunk-aware transform cannot parse), shipped
+	// final outputs, and result chunks written back to storage. Payloads
+	// already compressed at load time forward as-is whatever the setting,
+	// and every receive path decompresses self-describing envelopes
+	// regardless of its own Codec, so mixed fleets (compressing senders,
+	// raw-configured readers) interoperate. The adaptive skip threshold
+	// chunk.DefaultMinRatio applies: payloads that do not shrink go out raw.
+	// CodecNone (the zero value) leaves every engine-originated payload raw.
+	Codec chunk.Codec
+
 	// Degraded enables degraded-mode execution: a peer's death no longer
 	// aborts the query mesh-wide. Instead the node re-plans the dead peer's
 	// chunks onto surviving replica holders (Replan) and retries, falling
@@ -207,6 +219,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Degraded && c.Replan == nil {
 		return fmt.Errorf("engine: degraded execution requires a Replan callback")
+	}
+	if !c.Codec.Valid() {
+		return fmt.Errorf("engine: unknown compression codec %d", c.Codec)
 	}
 	return plan.Verify(c.Plan, c.Workload)
 }

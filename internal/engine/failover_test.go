@@ -94,7 +94,7 @@ func replanFor(repo *core.Repository, w *plan.Workload, s plan.Strategy) func([]
 // degraded fabric: node 0 joins the mesh but dies shortly after the
 // survivors start, and the survivors must complete the query with results
 // identical to the fault-free reference. Returns the survivors' traces.
-func runDegradedFailover(t *testing.T, repo *core.Repository, s plan.Strategy, endpoint func(rpc.NodeID) (rpc.Endpoint, error)) []engineTrace {
+func runDegradedFailover(t *testing.T, repo *core.Repository, s plan.Strategy, endpoint func(rpc.NodeID) (rpc.Endpoint, error), mutate ...func(*engine.Config)) []engineTrace {
 	t.Helper()
 	app := &apps.RasterApp{Op: apps.Sum, CellsPerDim: 4}
 	res, err := repo.Execute(context.Background(), &core.Query{
@@ -119,6 +119,9 @@ func runDegradedFailover(t *testing.T, repo *core.Repository, s plan.Strategy, e
 			mu.Unlock()
 			return nil
 		},
+	}
+	for _, m := range mutate {
+		m(&cfg)
 	}
 	st := engine.FarmStorage{Farm: repo.Farm()}
 

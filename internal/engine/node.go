@@ -173,6 +173,7 @@ var (
 	// for a per-worker view).
 	engDecodeNS    = metrics.Default.Counter("adr_engine_decode_nanos_total")
 	engQueueWaitNS = metrics.Default.Counter("adr_engine_queue_wait_nanos_total")
+	engCompBytes   = metrics.Default.Counter("adr_engine_compressed_bytes_total")
 	engPhaseNS     = [4]*metrics.Counter{
 		metrics.Default.Counter(`adr_engine_phase_nanos_total{phase="I"}`),
 		metrics.Default.Counter(`adr_engine_phase_nanos_total{phase="LR"}`),
@@ -191,6 +192,7 @@ func (n *node) recordTotals() {
 	engBytesSent.Add(s.BytesSent)
 	engBytesRecv.Add(s.BytesRecv)
 	engAggOps.Add(s.AggOps)
+	engCompBytes.Add(s.CompressedBytes)
 	engDecodeNS.Add(s.DecodeNanos)
 	engQueueWaitNS.Add(s.QueueWaitNanos)
 	for p, ns := range s.PhaseNanos {
@@ -349,7 +351,7 @@ func (n *node) phaseInit(ctx context.Context, t int32) (map[int32]Accumulator, e
 							n.met.CacheHits.Add(1)
 						}
 						payload = data
-						c, err := chunk.Decode(data)
+						c, err := n.decodeWhole(data)
 						if err != nil {
 							return fmt.Errorf("decode existing output %d: %w", o, err)
 						}
@@ -383,7 +385,7 @@ func (n *node) phaseInit(ctx context.Context, t int32) (map[int32]Accumulator, e
 			n.noteRecv(metrics.Initialization, msg)
 			initMsgs = append(initMsgs, msg)
 			if len(msg.Payload) > 0 {
-				c, err := chunk.Decode(msg.Payload)
+				c, err := n.decodeWhole(msg.Payload)
 				if err != nil {
 					recvErr = fmt.Errorf("decode output-init %d: %w", msg.Seq, err)
 					break
@@ -454,6 +456,49 @@ func (n *node) readChunk(ctx context.Context, dataset string, m chunk.Meta) (dat
 	return data, hit, err
 }
 
+// decompressPooled resolves a possibly-compressed payload to its raw bytes.
+// Compressed payloads inflate into a bufpool scratch buffer, returned as
+// scratch for the caller to Put after its last read of raw (nil for raw
+// payloads, which pass through unchanged). Runs on pool workers, so
+// decompression overlaps aggregation exactly like decoding does; callers
+// time it into DecodeNanos, and the compressed volume lands in
+// CompressedBytes.
+func (n *node) decompressPooled(data []byte) (raw, scratch []byte, err error) {
+	if !chunk.IsCompressed(data) {
+		return data, nil, nil
+	}
+	n.met.CompressedBytes.Add(int64(len(data)))
+	buf := bufpool.Get(chunk.RawLen(data))[:0]
+	out, err := chunk.DecompressTo(buf, data)
+	if err != nil {
+		bufpool.Put(buf)
+		return nil, nil, err
+	}
+	return out, out, nil
+}
+
+// decodeWhole decodes a possibly-compressed payload on a cold path (init
+// chunks, shipped finals) where the decoded chunk may outlive the call:
+// decompression allocates a garbage-collected buffer instead of pooled
+// scratch.
+func (n *node) decodeWhole(data []byte) (*chunk.Chunk, error) {
+	if chunk.IsCompressed(data) {
+		n.met.CompressedBytes.Add(int64(len(data)))
+	}
+	return chunk.DecodeAny(data)
+}
+
+// compressForSend applies the configured codec to an outbound payload.
+// Payloads that arrived compressed (storage bytes forwarded verbatim) and
+// payloads that do not shrink go out as they are.
+func (n *node) compressForSend(payload []byte, codec chunk.Codec) []byte {
+	if codec == chunk.CodecNone || chunk.IsCompressed(payload) {
+		return payload
+	}
+	env, _ := chunk.Compress(payload, codec, chunk.DefaultMinRatio)
+	return env
+}
+
 // phaseLocalReduction retrieves this node's local input chunks (with
 // read-ahead, overlapping disk and processing), aggregates them into every
 // allocated target accumulator of the tile, forwards them to remote homes,
@@ -481,8 +526,20 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 		if !wk.local {
 			kind = "forwarded input"
 		}
+		// Decompress (when the payload is a storage or wire envelope) and
+		// decode on the worker, so both overlap aggregation; the scratch
+		// buffer recycles once the aggregation loop below is done with the
+		// decoded items that alias it.
 		ds := time.Now()
-		c, err := chunk.Decode(wk.data)
+		raw, scratch, err := n.decompressPooled(wk.data)
+		if err != nil {
+			n.met.DecodeNanos.Add(time.Since(ds).Nanoseconds())
+			return fmt.Errorf("decode %s %d: %w", kind, wk.seq, err)
+		}
+		if scratch != nil {
+			defer bufpool.Put(scratch)
+		}
+		c, err := chunk.Decode(raw)
 		n.met.DecodeNanos.Add(time.Since(ds).Nanoseconds())
 		if err != nil {
 			return fmt.Errorf("decode %s %d: %w", kind, wk.seq, err)
@@ -525,10 +582,15 @@ func (n *node) phaseLocalReduction(ctx context.Context, t int32, accs map[int32]
 		go func() {
 			defer fwdWg.Done()
 			for wk := range fwdCh {
+				// Compressed storage bytes forward verbatim (zero cost); raw
+				// storage bytes are compressed once here, then fanned out, so
+				// flow-control credits meter the compressed volume and every
+				// peer window holds proportionally more chunks in flight.
+				payload := n.compressForSend(wk.data, n.cfg.Codec)
 				for _, dst := range n.fwdByInput[t][wk.seq] {
 					if err := n.send(metrics.LocalReduction, rpc.Message{
 						Src: n.self, Dst: dst, Type: msgInputChunk, Tile: t, Seq: wk.seq,
-						Payload: wk.data,
+						Payload: payload,
 					}); err != nil {
 						pl.fail(err)
 						// Keep draining so blocked prefetchers unstick.
@@ -655,6 +717,11 @@ func (n *node) phaseGlobalCombine(ctx context.Context, t int32, accs map[int32]A
 				if err != nil {
 					return fmt.Errorf("encode ghost %d: %w", g.o, err)
 				}
+				if n.cfg.Codec != chunk.CodecNone {
+					// Accumulator payloads are app-defined encodings the
+					// chunk-aware transform cannot parse; flate covers them.
+					data = n.compressForSend(data, chunk.CodecFlate)
+				}
 				n.met.AddPhase(metrics.GlobalCombine, time.Since(start))
 				if err := n.send(metrics.GlobalCombine, rpc.Message{
 					Src: n.self, Dst: rpc.NodeID(p.Home[g.o]), Type: msgGhostAccum, Tile: t, Seq: g.o,
@@ -676,7 +743,15 @@ func (n *node) phaseGlobalCombine(ctx context.Context, t int32, accs map[int32]A
 				return fmt.Errorf("ghost for output %d arrived but no local accumulator", o)
 			}
 			ds := time.Now()
-			src, err := n.cfg.App.DecodeAccum(wk.data, w.Outputs[o])
+			raw, scratch, err := n.decompressPooled(wk.data)
+			if err != nil {
+				n.met.DecodeNanos.Add(time.Since(ds).Nanoseconds())
+				return fmt.Errorf("decode ghost %d: %w", o, err)
+			}
+			if scratch != nil {
+				defer bufpool.Put(scratch)
+			}
+			src, err := n.cfg.App.DecodeAccum(raw, w.Outputs[o])
 			n.met.DecodeNanos.Add(time.Since(ds).Nanoseconds())
 			if err != nil {
 				return fmt.Errorf("decode ghost %d: %w", o, err)
@@ -748,11 +823,20 @@ func (n *node) phaseOutput(ctx context.Context, t int32, accs map[int32]Accumula
 				n.met.AddPhase(metrics.OutputHandling, time.Since(start))
 				// Encode into a pooled buffer: the transport owns and recycles
 				// it — once the frame is on the wire for TCP, when the receiver
-				// releases it in-process.
+				// releases it in-process. Under a codec the envelope ships
+				// instead and the raw buffer recycles here; the envelope is a
+				// fresh unpooled allocation, so Pooled stays off for it.
 				payload := chunk.AppendTo(out, bufpool.Get(chunk.EncodedSize(out))[:0])
+				pooled := true
+				if n.cfg.Codec != chunk.CodecNone {
+					if env, used := chunk.Compress(payload, n.cfg.Codec, chunk.DefaultMinRatio); used != chunk.CodecNone {
+						bufpool.Put(payload)
+						payload, pooled = env, false
+					}
+				}
 				if err := n.send(metrics.OutputHandling, rpc.Message{
 					Src: n.self, Dst: rpc.NodeID(w.Outputs[o].Node), Type: msgFinalOutput, Tile: t, Seq: o,
-					Payload: payload, Pooled: true,
+					Payload: payload, Pooled: pooled,
 				}); err != nil {
 					return err
 				}
@@ -780,16 +864,19 @@ func (n *node) phaseOutput(ctx context.Context, t int32, accs map[int32]Accumula
 				return err
 			}
 			n.noteRecv(metrics.OutputHandling, msg)
-			out, err := chunk.Decode(msg.Payload)
+			compressed := chunk.IsCompressed(msg.Payload)
+			out, err := n.decodeWhole(msg.Payload)
 			if err != nil {
 				msg.Release()
 				return fmt.Errorf("decode final output %d: %w", msg.Seq, err)
 			}
 			err = n.emit(out)
-			if n.cfg.OnResult != nil {
+			if n.cfg.OnResult != nil && !compressed {
 				// The result callback may retain the decoded chunk, whose
 				// items alias the payload: return the credit but hand the
-				// bytes over to the retainer (and the GC).
+				// bytes over to the retainer (and the GC). A compressed
+				// payload was fully consumed by decompression — the decoded
+				// chunk aliases the inflated copy — so it releases normally.
 				msg.ReleaseKeep()
 			} else {
 				msg.Release()
@@ -835,6 +922,13 @@ func (n *node) emit(out *chunk.Chunk) error {
 	if n.cfg.ResultDataset != "" {
 		data := chunk.Encode(out)
 		out.Meta.Bytes = int64(len(data))
+		out.Meta.StoredBytes = 0
+		if n.cfg.Codec != chunk.CodecNone {
+			if env, used := chunk.Compress(data, n.cfg.Codec, chunk.DefaultMinRatio); used != chunk.CodecNone {
+				data = env
+				out.Meta.StoredBytes = int64(len(env))
+			}
+		}
 		if err := n.st.WriteChunk(n.cfg.ResultDataset, out.Meta, data); err != nil {
 			return err
 		}
@@ -846,9 +940,12 @@ func (n *node) emit(out *chunk.Chunk) error {
 	return nil
 }
 
-// send transmits m, attributing the traffic to the phase issuing it.
+// send transmits m, attributing the traffic to the phase issuing it and
+// stamping the payload's codec into the frame header (payloads are
+// self-describing; the stamp is frame metadata for tooling).
 func (n *node) send(p metrics.Phase, m rpc.Message) error {
 	m.OnStall = n.onStall
+	m.Codec = byte(chunk.PayloadCodec(m.Payload))
 	if err := n.ep.Send(m); err != nil {
 		return fmt.Errorf("send %s to %d: %w", msgTypeName(uint8(m.Type)), m.Dst, err)
 	}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -46,10 +47,25 @@ func Run(ctx context.Context, cfg Config, fabric rpc.Fabric, st ChunkStorage) (*
 		}(q, ep)
 	}
 	wg.Wait()
+	// Prefer the root-cause failure over the cancellations it induced: the
+	// first failing node cancels the shared context, so peers usually fail
+	// with a bare context.Canceled that would mask the real error whenever
+	// the root cause happened on a higher-numbered node.
+	var canceled error
 	for q, err := range errs {
-		if err != nil {
-			return report, fmt.Errorf("engine: node %d failed: %w", q, err)
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+			if canceled == nil {
+				canceled = fmt.Errorf("engine: node %d failed: %w", q, err)
+			}
+			continue
+		}
+		return report, fmt.Errorf("engine: node %d failed: %w", q, err)
+	}
+	if canceled != nil {
+		return report, canceled
 	}
 	return report, nil
 }

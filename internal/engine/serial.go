@@ -32,7 +32,7 @@ func RunSerial(cfg Config) ([]*chunk.Chunk, error) {
 				if err != nil {
 					return nil, fmt.Errorf("read existing output %d: %w", o, err)
 				}
-				c, err := chunk.Decode(data)
+				c, err := chunk.DecodeAny(data)
 				if err != nil {
 					return nil, err
 				}
@@ -56,7 +56,7 @@ func RunSerial(cfg Config) ([]*chunk.Chunk, error) {
 		if err != nil {
 			return nil, fmt.Errorf("read input %d: %w", i, err)
 		}
-		c, err := chunk.Decode(data)
+		c, err := chunk.DecodeAny(data)
 		if err != nil {
 			return nil, err
 		}

@@ -36,6 +36,13 @@ type QuerySpec struct {
 	// ResultDataset, when set, writes results back to the farm as well as
 	// returning them.
 	ResultDataset string `json:"result_dataset,omitempty"`
+	// Codec, when set, compresses the query's engine payloads — forwarded
+	// chunks, ghost accumulators, shipped finals, result write-backs —
+	// with the named codec ("none", "flate" or "columnar"). Empty defers to
+	// each node's -compress default. Receivers decompress self-describing
+	// payloads whatever their own setting, so the value need not match the
+	// dataset's on-disk codec.
+	Codec string `json:"codec,omitempty"`
 }
 
 // AppSpec selects a registered aggregation customization.
@@ -95,6 +102,16 @@ func (q *QuerySpec) ParseStrategy() (plan.Strategy, error) {
 		return plan.FRA, nil
 	}
 	return plan.ParseStrategy(q.Strategy)
+}
+
+// ParseCodec parses the spec's compression codec. The boolean reports
+// whether the spec named one at all (false defers to the node's default).
+func (q *QuerySpec) ParseCodec() (chunk.Codec, bool, error) {
+	if q.Codec == "" {
+		return chunk.CodecNone, false, nil
+	}
+	c, err := chunk.ParseCodec(q.Codec)
+	return c, true, err
 }
 
 // NodeRequest is the front-end -> back-end control frame: the query spec

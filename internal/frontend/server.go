@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adr/internal/chunk"
 	"adr/internal/metrics"
 )
 
@@ -117,12 +118,18 @@ type Server struct {
 	closed  bool
 	queryID atomic.Int32
 	queries *metrics.QueryLog
+	codec   string
 }
 
 // Options tunes the front-end's observability behaviour.
 type Options struct {
 	// SlowQueryThreshold, when > 0, logs every query slower than it.
 	SlowQueryThreshold time.Duration
+	// Codec, when non-empty, is stamped onto relayed queries that do not
+	// name their own codec (adr-front -compress): every query through this
+	// front-end then compresses its engine payloads with the named codec.
+	// Specs that set Codec themselves win.
+	Codec string
 }
 
 // Start listens for clients on addr.
@@ -139,9 +146,15 @@ func StartOptions(addr string, nodeAddrs []string, opts Options) (*Server, error
 	if err != nil {
 		return nil, fmt.Errorf("frontend: listen: %w", err)
 	}
+	if opts.Codec != "" {
+		if _, err := chunk.ParseCodec(opts.Codec); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("frontend: %w", err)
+		}
+	}
 	ql := metrics.NewQueryLog(metrics.Default, "adr_frontend")
 	ql.SlowThreshold = opts.SlowQueryThreshold
-	s := &Server{NodeAddrs: nodeAddrs, ln: ln, queries: ql}
+	s := &Server{NodeAddrs: nodeAddrs, ln: ln, queries: ql, codec: opts.Codec}
 	go s.acceptLoop()
 	return s, nil
 }
@@ -197,6 +210,9 @@ func (s *Server) handleClient(conn net.Conn) {
 // runQuery fans the query out to every back-end node and merges the result
 // streams into w, recording the query in the front-end's query log.
 func (s *Server) runQuery(spec *QuerySpec, w *bufio.Writer) error {
+	if s.codec != "" && spec.Codec == "" {
+		spec.Codec = s.codec
+	}
 	id := s.queryID.Add(1)
 	rec := s.queries.Begin(id, spec.Input+"->"+spec.Output+"/"+spec.Strategy)
 	total, err := s.relayQuery(id, spec, w)

@@ -21,6 +21,10 @@ type Dataset struct {
 	Chunks []chunk.Meta
 	// Index finds chunks intersecting a range query.
 	Index index.Index
+	// Codec is the compression codec the dataset was loaded with (CodecNone
+	// for raw layouts). Individual chunks may still be raw when the adaptive
+	// sampler skipped them; per-chunk Meta.StoredBytes is authoritative.
+	Codec chunk.Codec
 }
 
 // Select returns the metadata of all chunks intersecting query, the result
@@ -34,11 +38,23 @@ func (d *Dataset) Select(query space.Rect) []chunk.Meta {
 	return out
 }
 
-// TotalBytes returns the dataset's payload volume.
+// TotalBytes returns the dataset's logical (raw-encoding) payload volume.
 func (d *Dataset) TotalBytes() int64 {
 	var n int64
 	for _, m := range d.Chunks {
 		n += m.Bytes
+	}
+	return n
+}
+
+// StoredTotalBytes returns the dataset's on-disk payload volume per copy:
+// compressed chunks count their envelope size, raw chunks their full
+// encoding. The ratio StoredTotalBytes/TotalBytes is the achieved
+// compression ratio.
+func (d *Dataset) StoredTotalBytes() int64 {
+	var n int64
+	for _, m := range d.Chunks {
+		n += m.StoredOrRaw()
 	}
 	return n
 }
@@ -146,6 +162,14 @@ type Loader struct {
 	// classic ADR layout. With >= 2 copies on a multi-node farm, queries can
 	// keep running across a single node's death (degraded-mode execution).
 	Replicas int
+	// Codec compresses chunk payloads before they are moved to their disks
+	// (CodecNone stores raw encodings, the classic layout). Payloads are
+	// self-describing, so any reader can open a compressed farm.
+	Codec chunk.Codec
+	// MinRatio is the adaptive-skip threshold passed to chunk.Compress: a
+	// chunk whose compressed/raw ratio lands at or above it is stored raw.
+	// Zero selects chunk.DefaultMinRatio.
+	MinRatio float64
 }
 
 // Load stores a dataset onto the farm and returns its catalog. Chunk IDs
@@ -197,6 +221,17 @@ func (l *Loader) Load(name string, sp space.AttrSpace, chunks []*chunk.Chunk) (*
 		}
 		data := chunk.Encode(c)
 		c.Meta.Bytes = int64(len(data))
+		c.Meta.StoredBytes = 0
+		if l.Codec != chunk.CodecNone {
+			minRatio := l.MinRatio
+			if minRatio == 0 {
+				minRatio = chunk.DefaultMinRatio
+			}
+			if env, used := chunk.Compress(data, l.Codec, minRatio); used != chunk.CodecNone {
+				data = env
+				c.Meta.StoredBytes = int64(len(env))
+			}
+		}
 		metas[i] = c.Meta
 		wg.Add(1)
 		sem <- struct{}{}
@@ -239,6 +274,7 @@ func (l *Loader) Load(name string, sp space.AttrSpace, chunks []*chunk.Chunk) (*
 		Space:  sp,
 		Chunks: metas,
 		Index:  idx,
+		Codec:  l.Codec,
 	}, nil
 }
 

@@ -23,8 +23,12 @@ type Manifest struct {
 
 // DatasetManifest is one dataset's catalog entry.
 type DatasetManifest struct {
-	Name   string      `json:"name"`
-	Space  spaceJSON   `json:"space"`
+	Name  string    `json:"name"`
+	Space spaceJSON `json:"space"`
+	// Codec is the compression codec the dataset was loaded with; omitted
+	// for raw layouts. Per-chunk stored_bytes is authoritative (the adaptive
+	// sampler stores incompressible chunks raw even under a codec).
+	Codec  string      `json:"codec,omitempty"`
 	Chunks []chunkJSON `json:"chunks"`
 }
 
@@ -40,9 +44,12 @@ type chunkJSON struct {
 	Lo    []float64 `json:"lo"`
 	Hi    []float64 `json:"hi"`
 	Bytes int64     `json:"bytes"`
-	Items int32     `json:"items"`
-	Disk  int32     `json:"disk"`
-	Node  int32     `json:"node"`
+	// StoredBytes is the on-disk (compressed) payload size; omitted when the
+	// chunk is stored raw.
+	StoredBytes int64 `json:"stored_bytes,omitempty"`
+	Items       int32 `json:"items"`
+	Disk        int32 `json:"disk"`
+	Node        int32 `json:"node"`
 	// Holders lists every disk holding a copy when the dataset was loaded
 	// with -replicas >= 2 (primary first); omitted for unreplicated chunks.
 	Holders []int32 `json:"holders,omitempty"`
@@ -89,11 +96,15 @@ func SaveManifest(dataDir string, nodes, disksPerNode int, datasets []*Dataset) 
 				Hi:   hi,
 			},
 		}
+		if ds.Codec != chunk.CodecNone {
+			dm.Codec = ds.Codec.String()
+		}
 		for _, c := range ds.Chunks {
 			clo, chi := rectToJSON(c.MBR)
 			dm.Chunks = append(dm.Chunks, chunkJSON{
 				ID: int32(c.ID), Lo: clo, Hi: chi,
-				Bytes: c.Bytes, Items: c.Items, Disk: c.Disk, Node: c.Node,
+				Bytes: c.Bytes, StoredBytes: c.StoredBytes,
+				Items: c.Items, Disk: c.Disk, Node: c.Node,
 				Holders: c.Holders,
 			})
 		}
@@ -130,9 +141,14 @@ func LoadManifest(dataDir string) (*Manifest, []*Dataset, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("layout: dataset %s: %w", dm.Name, err)
 		}
+		codec, err := chunk.ParseCodec(dm.Codec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("layout: dataset %s: %w", dm.Name, err)
+		}
 		ds := &Dataset{
 			Name:  dm.Name,
 			Space: space.AttrSpace{Name: dm.Space.Name, Bounds: bounds},
+			Codec: codec,
 		}
 		entries := make([]index.Entry, 0, len(dm.Chunks))
 		for _, cj := range dm.Chunks {
@@ -152,9 +168,13 @@ func LoadManifest(dataDir string) (*Manifest, []*Dataset, error) {
 					return nil, nil, fmt.Errorf("layout: dataset %s chunk %d holder disk %d out of range", dm.Name, cj.ID, h)
 				}
 			}
+			if cj.StoredBytes < 0 || cj.StoredBytes > cj.Bytes {
+				return nil, nil, fmt.Errorf("layout: dataset %s chunk %d stored_bytes %d out of range", dm.Name, cj.ID, cj.StoredBytes)
+			}
 			meta := chunk.Meta{
 				ID: chunk.ID(cj.ID), Dataset: dm.Name, MBR: mbr,
-				Bytes: cj.Bytes, Items: cj.Items, Disk: cj.Disk, Node: cj.Node,
+				Bytes: cj.Bytes, StoredBytes: cj.StoredBytes,
+				Items: cj.Items, Disk: cj.Disk, Node: cj.Node,
 				Holders: cj.Holders,
 			}
 			ds.Chunks = append(ds.Chunks, meta)

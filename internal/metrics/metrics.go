@@ -88,8 +88,14 @@ type Node struct {
 	// replica holder because the primary's node was excluded from the query
 	// (degraded-mode execution).
 	ReplicaFallbackReads atomic.Int64
-	// DecodeNanos is the cumulative wall time workers spent in chunk.Decode,
-	// and QueueWaitNanos the cumulative time work items waited in the
+	// CompressedBytes counts compressed payload bytes this node decompressed
+	// on its read and receive paths (disk, cache or wire). The difference
+	// against the BytesRead/BytesRecv those payloads contributed is the
+	// volume compression saved; zero means every payload arrived raw.
+	CompressedBytes atomic.Int64
+	// DecodeNanos is the cumulative wall time workers spent in chunk.Decode
+	// (including decompression when payloads arrive compressed), and
+	// QueueWaitNanos the cumulative time work items waited in the
 	// pipeline queue before a worker picked them up. Both are summed across
 	// workers, so with W workers they may exceed the phase wall time — the
 	// ratio QueueWaitNanos/phase time is the pipeline's backlog signal.
@@ -136,24 +142,25 @@ func (n *Node) CommBytes() int64 {
 // Snapshot is an immutable copy of a Node's counters, safe to aggregate and
 // serialize.
 type Snapshot struct {
-	BytesRead        int64
-	BytesWritten     int64
-	BytesSent        int64
-	BytesRecv        int64
-	ChunksRead       int64
-	MsgsSent         int64
-	MsgsRecv         int64
-	AggOps           int64
-	CombineOps       int64
+	BytesRead            int64
+	BytesWritten         int64
+	BytesSent            int64
+	BytesRecv            int64
+	ChunksRead           int64
+	MsgsSent             int64
+	MsgsRecv             int64
+	AggOps               int64
+	CombineOps           int64
 	CacheHits            int64
 	SharedReads          int64
 	DedupedBytes         int64
 	ReplicaFallbackReads int64
+	CompressedBytes      int64
 	DecodeNanos          int64
-	QueueWaitNanos   int64
-	CreditStalls     int64
-	CreditStallNanos int64
-	PhaseNanos       [4]int64
+	QueueWaitNanos       int64
+	CreditStalls         int64
+	CreditStallNanos     int64
+	PhaseNanos           [4]int64
 }
 
 // Snapshot captures the current counter values.
@@ -172,6 +179,7 @@ func (n *Node) Snapshot() Snapshot {
 	s.SharedReads = n.SharedReads.Load()
 	s.DedupedBytes = n.DedupedBytes.Load()
 	s.ReplicaFallbackReads = n.ReplicaFallbackReads.Load()
+	s.CompressedBytes = n.CompressedBytes.Load()
 	s.DecodeNanos = n.DecodeNanos.Load()
 	s.QueueWaitNanos = n.QueueWaitNanos.Load()
 	s.CreditStalls = n.CreditStalls.Load()
@@ -197,6 +205,7 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.SharedReads += o.SharedReads
 	s.DedupedBytes += o.DedupedBytes
 	s.ReplicaFallbackReads += o.ReplicaFallbackReads
+	s.CompressedBytes += o.CompressedBytes
 	s.DecodeNanos += o.DecodeNanos
 	s.QueueWaitNanos += o.QueueWaitNanos
 	s.CreditStalls += o.CreditStalls

@@ -36,7 +36,8 @@ import (
 // grant itself — a transport-internal frame whose 8-byte payload is the
 // byte count being returned; it is never delivered to Recv and is itself
 // exempt from flow control (a grant that needed credit to send could never
-// unblock anyone).
+// unblock anyone). flags bits 2-3 carry the payload's compression codec
+// (Message.Codec).
 //
 // Failure model: the mesh is static, so a failed peer connection is
 // permanent. When a read, write, frame decode or send timeout fails, the
@@ -57,6 +58,11 @@ const tcpHeaderLen = 22
 const (
 	frameFlow   = 1 << 0 // payload charged against the sender's credit window
 	frameCredit = 1 << 1 // transport-internal credit grant, never delivered
+	// Bits 2-3 carry the payload's compression codec (Message.Codec, a
+	// chunk.Codec value): 0 raw, 1 flate, 2 columnar. Compressed payloads
+	// are self-describing, so the bits are advisory frame metadata.
+	frameCodecShift = 2
+	frameCodecMask  = 0x3
 )
 
 // MaxFrameBytes bounds a single message payload (64 MiB): far above any
@@ -534,9 +540,9 @@ func (n *TCPNode) writeLoop(conn *tcpConn) {
 			binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Src))
 			binary.LittleEndian.PutUint32(hdr[8:], uint32(m.Dst))
 			hdr[12] = byte(m.Type)
-			hdr[13] = 0
+			hdr[13] = (m.Codec & frameCodecMask) << frameCodecShift
 			if n.flowCharged(conn, &m) {
-				hdr[13] = frameFlow
+				hdr[13] |= frameFlow
 			}
 			binary.LittleEndian.PutUint32(hdr[14:], uint32(m.Query))
 			binary.LittleEndian.PutUint32(hdr[18:], uint32(m.Tile))
@@ -613,6 +619,7 @@ func (n *TCPNode) readLoop(conn *tcpConn) {
 			Query: int32(binary.LittleEndian.Uint32(hdr[14:])),
 			Tile:  int32(binary.LittleEndian.Uint32(hdr[18:])),
 			Seq:   int32(binary.LittleEndian.Uint32(hdr[22:])),
+			Codec: (flags >> frameCodecShift) & frameCodecMask,
 		}
 		if payloadLen > 0 {
 			// Each frame body is a fresh pooled buffer owned exclusively by
