@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check test-failure bench bench-cache bench-engine bench-sharedscan bench-flow bench-failover bench-compress docs clean
+.PHONY: all build test race vet fmt check test-failure bench bench-cache bench-engine bench-sharedscan bench-flow bench-failover bench-compress bench-select docs clean
 
 all: check
 
@@ -36,7 +36,7 @@ test-failure:
 
 check: build fmt vet test bench-compress
 
-bench: bench-cache bench-engine bench-sharedscan bench-flow bench-failover bench-compress
+bench: bench-cache bench-engine bench-sharedscan bench-flow bench-failover bench-compress bench-select
 	$(GO) run ./cmd/adr-bench -quick
 
 # Cache benchmark: cold vs warm disk reads for a repeated range-query sweep,
@@ -76,6 +76,13 @@ bench-failover:
 # wire bytes by less than 1.5x.
 bench-compress:
 	BENCH_JSON=BENCH_9.json $(GO) test -run '^$$' -bench CompressedScan -benchtime 1x .
+
+# Strategy-selection benchmark: AUTO vs every fixed strategy on the same
+# repository (the fixed legs calibrate the cost model; the AUTO leg executes
+# its choice), summarized into BENCH_10.json. Fails if AUTO runs more than
+# 2x the best fixed strategy.
+bench-select:
+	BENCH_JSON=BENCH_10.json $(GO) test -run '^$$' -bench AutoSelect -benchtime 1x .
 
 # Documentation checks: README flag tables vs registered flags, markdown
 # links and DESIGN.md section cross-references, and the godoc package-

@@ -72,15 +72,20 @@ func NewRepository(opts Options) (*Repository, error) { return core.NewRepositor
 // Strategy selects a query-processing strategy (§3 of the paper).
 type Strategy = plan.Strategy
 
-// The planning strategies.
+// The planning strategies. Auto is not itself a plan: an Auto query is
+// costed under every fixed strategy by the trace-calibrated cost model
+// (internal/costmodel) and executed under the predicted-fastest one;
+// Result.Selection reports the choice.
 const (
 	FRA    = plan.FRA
 	SRA    = plan.SRA
 	DA     = plan.DA
 	Hybrid = plan.Hybrid
+	Auto   = plan.Auto
 )
 
-// ParseStrategy parses "FRA", "SRA", "DA" or "HYBRID".
+// ParseStrategy parses "FRA", "SRA", "DA", "HYBRID" or "AUTO"
+// (case-insensitive).
 func ParseStrategy(s string) (Strategy, error) { return plan.ParseStrategy(s) }
 
 // App is the user customization: the Initialize, Aggregate, Combine and

@@ -96,8 +96,54 @@ func TestParseStrategyPublic(t *testing.T) {
 	if err != nil || s != adr.DA {
 		t.Errorf("ParseStrategy = %v, %v", s, err)
 	}
+	if s, err := adr.ParseStrategy("auto"); err != nil || s != adr.Auto {
+		t.Errorf("ParseStrategy(auto) = %v, %v", s, err)
+	}
 	if _, err := adr.ParseStrategy("??"); err == nil {
 		t.Error("bad strategy should fail")
+	}
+}
+
+// TestPublicAPIAutoStrategy: an AUTO query through the facade executes under
+// a model-chosen fixed strategy, reports the selection, and matches the
+// fixed-strategy result.
+func TestPublicAPIAutoStrategy(t *testing.T) {
+	repo := buildRepo(t, 4)
+	fixed, err := repo.Execute(context.Background(), &adr.Query{
+		Input: "pts", Output: "img", Strategy: adr.FRA,
+		App: &adr.RasterApp{Op: adr.Sum, CellsPerDim: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Selection != nil {
+		t.Error("fixed-strategy query reported a selection")
+	}
+	res, err := repo.Execute(context.Background(), &adr.Query{
+		Input: "pts", Output: "img", Strategy: adr.Auto,
+		App: &adr.RasterApp{Op: adr.Sum, CellsPerDim: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := res.Selection
+	if sel == nil {
+		t.Fatal("AUTO query reported no selection")
+	}
+	if sel.Strategy == "" || sel.Strategy == "AUTO" {
+		t.Fatalf("selection %q not resolved to a fixed strategy", sel.Strategy)
+	}
+	if res.Plan.Strategy.String() != sel.Strategy {
+		t.Errorf("executed plan is %v but selection names %s", res.Plan.Strategy, sel.Strategy)
+	}
+	if len(sel.Estimates) != 4 {
+		t.Errorf("selection has %d estimates, want 4", len(sel.Estimates))
+	}
+	if sel.PredictedSec <= 0 || sel.ActualSec <= 0 {
+		t.Errorf("prediction loop not closed: predicted %g, actual %g", sel.PredictedSec, sel.ActualSec)
+	}
+	if canon(t, res) != canon(t, fixed) {
+		t.Error("AUTO result differs from fixed-strategy result")
 	}
 }
 

@@ -1436,3 +1436,103 @@ func BenchmarkDegradedQuery(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAutoSelect races AUTO strategy selection against every fixed
+// strategy on the same repository: the fixed legs run first (calibrating the
+// repository's cost model from their traces), then the AUTO leg executes
+// under whatever the calibrated model picks. Reported metric: per-leg wall
+// time. The benchmark fails if the strategy AUTO chose is much slower than
+// the best fixed strategy — the selection-accuracy acceptance check. With
+// BENCH_JSON set, a JSON summary (per-strategy wall, AUTO's choice and
+// overhead ratio) is written to that path.
+func BenchmarkAutoSelect(b *testing.B) {
+	const aggDelay = 500 * time.Microsecond
+	repo, err := adrNewCostRepo(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer repo.Close()
+
+	app := func() adr.App {
+		return &emulator.CostApp{
+			Inner:    &adr.RasterApp{Op: adr.Sum, CellsPerDim: 4},
+			AggDelay: aggDelay,
+		}
+	}
+	walls := make(map[string]time.Duration)
+	var chosen string
+	legs := []struct {
+		name  string
+		strat adr.Strategy
+	}{
+		{"FRA", adr.FRA}, {"SRA", adr.SRA}, {"DA", adr.DA}, {"HYBRID", adr.Hybrid},
+		{"AUTO", adr.Auto},
+	}
+	for _, leg := range legs {
+		b.Run(leg.name, func(b *testing.B) {
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				res, err := repo.Execute(context.Background(), &adr.Query{
+					Input: "pts", Output: "img", Strategy: leg.strat,
+					App: app(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall += time.Since(start)
+				if len(res.Chunks) == 0 {
+					b.Fatal("no results")
+				}
+				if leg.strat == adr.Auto {
+					if res.Selection == nil {
+						b.Fatal("AUTO leg reported no selection")
+					}
+					chosen = res.Selection.Strategy
+				}
+			}
+			walls[leg.name] = wall / time.Duration(b.N)
+			b.ReportMetric(float64(walls[leg.name].Nanoseconds())/1e6, "wall-ms")
+		})
+	}
+
+	auto := walls["AUTO"]
+	best := time.Duration(0)
+	for _, leg := range legs[:4] {
+		w := walls[leg.name]
+		if w > 0 && (best == 0 || w < best) {
+			best = w
+		}
+	}
+	if auto == 0 || best == 0 {
+		return // a -bench filter selected a subset; nothing to compare
+	}
+	ratio := float64(auto) / float64(best)
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		out := map[string]any{
+			"benchmark":       "AutoSelect",
+			"agg_delay_ns":    aggDelay.Nanoseconds(),
+			"chosen_strategy": chosen,
+			"fra_wall_ns":     walls["FRA"].Nanoseconds(),
+			"sra_wall_ns":     walls["SRA"].Nanoseconds(),
+			"da_wall_ns":      walls["DA"].Nanoseconds(),
+			"hybrid_wall_ns":  walls["HYBRID"].Nanoseconds(),
+			"auto_wall_ns":    auto.Nanoseconds(),
+			"auto_over_best":  ratio,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// AUTO includes the selection itself (four plans costed) on top of the
+	// chosen execution, so allow generous headroom over the best fixed leg;
+	// a mis-selection on this workload costs far more than 2x.
+	if ratio > 2.0 {
+		b.Fatalf("AUTO (%v, chose %s) is %.2fx the best fixed strategy (%v)",
+			auto, chosen, ratio, best)
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -32,23 +33,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("farm %s: %d nodes x %d disks, %d datasets\n\n",
-		*dataDir, m.Nodes, m.DisksPerNode, len(datasets))
-
-	for _, ds := range datasets {
-		if *dataset != "" && ds.Name != *dataset {
-			continue
-		}
-		describe(ds, m.Nodes*m.DisksPerNode)
-		if *queryFlag != "" {
-			probe(ds, *queryFlag)
-		}
-		fmt.Println()
+	if err := inspect(os.Stdout, *dataDir, m, datasets, *dataset, *queryFlag); err != nil {
+		fatal(err)
 	}
 }
 
-func describe(ds *layout.Dataset, ndisks int) {
-	fmt.Printf("dataset %q: space %q %v\n", ds.Name, ds.Space.Name, ds.Space.Bounds)
+// inspect renders the whole report to w; split from main so tests can run
+// it over degenerate farms and assert the output stays finite.
+func inspect(w io.Writer, dataDir string, m *layout.Manifest, datasets []*layout.Dataset, only, queryFlag string) error {
+	fmt.Fprintf(w, "farm %s: %d nodes x %d disks, %d datasets\n\n",
+		dataDir, m.Nodes, m.DisksPerNode, len(datasets))
+
+	for _, ds := range datasets {
+		if only != "" && ds.Name != only {
+			continue
+		}
+		describe(w, ds, m.Nodes*m.DisksPerNode)
+		if queryFlag != "" {
+			if err := probe(w, ds, queryFlag); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func describe(w io.Writer, ds *layout.Dataset, ndisks int) {
+	fmt.Fprintf(w, "dataset %q: space %q %v\n", ds.Name, ds.Space.Name, ds.Space.Bounds)
 	var bytes int64
 	var stored int64
 	var compressed int
@@ -67,11 +79,18 @@ func describe(ds *layout.Dataset, ndisks int) {
 		}
 		perNode[c.Node] += c.Bytes
 	}
-	fmt.Printf("  %d chunks, %d items, %.2f MB\n", len(ds.Chunks), items, float64(bytes)/1e6)
-	if ds.Codec != chunk.CodecNone && bytes > 0 {
-		fmt.Printf("  compression (%s): %.2f MB on disk vs %.2f MB logical, ratio %.3f (%d/%d chunks compressed)\n",
+	fmt.Fprintf(w, "  %d chunks, %d items, %.2f MB\n", len(ds.Chunks), items, float64(bytes)/1e6)
+	switch {
+	case ds.Codec == chunk.CodecNone:
+		// Raw layout: nothing to report.
+	case bytes > 0:
+		fmt.Fprintf(w, "  compression (%s): %.2f MB on disk vs %.2f MB logical, ratio %.3f (%d/%d chunks compressed)\n",
 			ds.Codec, float64(stored)/1e6, float64(bytes)/1e6,
 			float64(stored)/float64(bytes), compressed, len(ds.Chunks))
+	default:
+		// A codec with no logical bytes (empty dataset, or every chunk
+		// empty) has no meaningful ratio — say so instead of printing NaN.
+		fmt.Fprintf(w, "  compression (%s): no payload bytes, ratio not meaningful\n", ds.Codec)
 	}
 
 	// Placement balance.
@@ -88,26 +107,34 @@ func describe(ds *layout.Dataset, ndisks int) {
 			minDisk = b
 		}
 	}
-	if used > 0 && bytes > 0 {
+	switch {
+	case used > 0 && bytes > 0:
 		mean := float64(bytes) / float64(used)
-		fmt.Printf("  placement: %d/%d disks used, per-disk %.2f-%.2f MB (max/mean %.2f)\n",
+		fmt.Fprintf(w, "  placement: %d/%d disks used, per-disk %.2f-%.2f MB (max/mean %.2f)\n",
 			used, ndisks, float64(minDisk)/1e6, float64(maxDisk)/1e6, float64(maxDisk)/mean)
+	case len(ds.Chunks) == 0:
+		fmt.Fprintf(w, "  placement: empty dataset, 0/%d disks used\n", ndisks)
+	default:
+		// Chunks exist but none carry bytes on a tracked disk: a balance
+		// ratio would divide by zero, so report the shape without one.
+		fmt.Fprintf(w, "  placement: %d chunks carry no payload bytes, 0/%d disks used\n",
+			len(ds.Chunks), ndisks)
 	}
-	fmt.Printf("  index: %d entries\n", ds.Index.Len())
+	fmt.Fprintf(w, "  index: %d entries\n", ds.Index.Len())
 }
 
-func probe(ds *layout.Dataset, queryFlag string) {
+func probe(w io.Writer, ds *layout.Dataset, queryFlag string) error {
 	parts := strings.Split(queryFlag, ",")
 	vals := make([]float64, len(parts))
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
-			fatal(fmt.Errorf("bad query value %q", p))
+			return fmt.Errorf("bad query value %q", p)
 		}
 		vals[i] = v
 	}
 	if len(vals)%2 != 0 {
-		fatal(fmt.Errorf("query needs lo,hi pairs"))
+		return fmt.Errorf("query needs lo,hi pairs")
 	}
 	box := space.R(vals...)
 	sel := ds.Select(box)
@@ -117,9 +144,10 @@ func probe(ds *layout.Dataset, queryFlag string) {
 		bytes += c.Bytes
 		disks[c.Disk] = true
 	}
-	fmt.Printf("  query %v: %d chunks, %.2f MB across %d disks (%.0f%% of dataset)\n",
+	fmt.Fprintf(w, "  query %v: %d chunks, %.2f MB across %d disks (%.0f%% of dataset)\n",
 		box, len(sel), float64(bytes)/1e6, len(disks),
 		100*float64(len(sel))/float64(max(1, len(ds.Chunks))))
+	return nil
 }
 
 func max(a, b int) int {

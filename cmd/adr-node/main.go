@@ -49,6 +49,7 @@ type options struct {
 	fwdBudget    *int64
 	degraded     *bool
 	compress     *string
+	calibFile    *string
 }
 
 // registerFlags declares the daemon's full flag set on fs.
@@ -72,6 +73,7 @@ func registerFlags(fs *flag.FlagSet) *options {
 		fwdBudget:    fs.Int64("fwd-budget-bytes", 0, "node-wide in-flight forwarded-byte budget across all peers (0 disables)"),
 		degraded:     fs.Bool("degraded", false, "survive back-end node deaths by re-planning onto replica holders (needs -replicas >= 2 at load time; same value on every node)"),
 		compress:     fs.String("compress", "none", "default codec for engine payloads on the wire: none, flate or columnar (query specs override)"),
+		calibFile:    fs.String("calibration-file", "", "JSON file persisting this node's cost-model calibration across restarts (in-memory only when empty)"),
 	}
 }
 
@@ -100,23 +102,24 @@ func main() {
 	}
 
 	srv, err := backend.Start(backend.Config{
-		Node:           rpc.NodeID(*id),
-		MeshAddrs:      addrs,
-		ControlAddr:    *control,
-		DataDir:        *dataDir,
-		AccMemBytes:    *opt.accmem,
-		SendTimeout:    *opt.sendTimeout,
-		DialRetry:      *opt.dialRetry,
-		QueryTimeout:   *opt.queryTimeout,
-		CacheBytes:     *cacheBytes,
-		MaxQueries:     *maxQueries,
-		Workers:        *opt.workers,
-		BatchWindow:    *opt.batchWindow,
-		MaxBatch:       *opt.maxBatch,
-		FwdWindowBytes: *opt.fwdWindow,
-		FwdBudgetBytes: *opt.fwdBudget,
-		Degraded:       *opt.degraded,
-		Codec:          codec,
+		Node:            rpc.NodeID(*id),
+		MeshAddrs:       addrs,
+		ControlAddr:     *control,
+		DataDir:         *dataDir,
+		AccMemBytes:     *opt.accmem,
+		SendTimeout:     *opt.sendTimeout,
+		DialRetry:       *opt.dialRetry,
+		QueryTimeout:    *opt.queryTimeout,
+		CacheBytes:      *cacheBytes,
+		MaxQueries:      *maxQueries,
+		Workers:         *opt.workers,
+		BatchWindow:     *opt.batchWindow,
+		MaxBatch:        *opt.maxBatch,
+		FwdWindowBytes:  *opt.fwdWindow,
+		FwdBudgetBytes:  *opt.fwdBudget,
+		Degraded:        *opt.degraded,
+		Codec:           codec,
+		CalibrationFile: *opt.calibFile,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adr-node:", err)
@@ -137,6 +140,9 @@ func main() {
 	}
 	if codec != chunk.CodecNone {
 		fmt.Printf("adr-node %d: wire compression on: %s\n", *id, codec)
+	}
+	if *opt.calibFile != "" {
+		fmt.Printf("adr-node %d: cost-model calibration persisted to %s\n", *id, *opt.calibFile)
 	}
 
 	if *metricsAddr != "" {

@@ -22,7 +22,7 @@ func main() {
 	front := flag.String("front", "localhost:7000", "front-end address")
 	input := flag.String("input", "", "input dataset (required)")
 	output := flag.String("output", "", "output dataset (required)")
-	strategy := flag.String("strategy", "FRA", "FRA | SRA | DA | HYBRID")
+	strategy := flag.String("strategy", "FRA", "FRA | SRA | DA | HYBRID | AUTO (cost-model selection; case-insensitive)")
 	op := flag.String("op", "sum", "sum | max | min | count | mean")
 	cells := flag.Int("cells", 8, "raster cells per output chunk dimension")
 	inBox := flag.String("input-box", "", "input range query: lox,hix,loy,hiy")
@@ -88,6 +88,14 @@ func main() {
 		float64(stats.BytesRead)/1e6,
 		float64(stats.BytesSent+stats.BytesRecv)/1e6,
 		stats.AggOps, stats.ElapsedMS)
+	if sel := stats.Selection; sel != nil {
+		fmt.Fprintf(os.Stderr, "adr-query: auto selected %s (predicted %.3fs, actual %.3fs, node %d's calibration)\n",
+			sel.Strategy, sel.PredictedSec, sel.ActualSec, sel.Node)
+		for _, e := range sel.Estimates {
+			fmt.Fprintf(os.Stderr, "adr-query:   %-6s predicted %.3fs (comm %.1f MB, %d tiles)\n",
+				e.Strategy, e.PredictedSec, float64(e.CommBytes)/1e6, e.Tiles)
+		}
+	}
 }
 
 func parseBox(s string) ([]float64, error) {

@@ -17,6 +17,7 @@ import (
 
 	"adr/internal/chunk"
 	"adr/internal/core"
+	"adr/internal/costmodel"
 	"adr/internal/engine"
 	"adr/internal/frontend"
 	"adr/internal/layout"
@@ -102,6 +103,12 @@ type Config struct {
 	// codec overrides it. Receivers decompress self-describing payloads
 	// regardless of their own setting, so mixed fleets interoperate.
 	Codec chunk.Codec
+	// CalibrationFile, when non-empty, persists the node's cost-model
+	// calibration (learned disk/link bandwidth and per-op compute rates,
+	// costmodel.Calibration) as JSON: loaded at startup, saved after every
+	// executed query, so restarts keep the learned rates. Empty keeps the
+	// calibration in memory only.
+	CalibrationFile string
 }
 
 // DefaultRequestTimeout is how long a fresh control connection may take to
@@ -124,6 +131,19 @@ var (
 	replicaFallbackReads = metrics.Default.Counter("adr_node_replica_fallback_reads_total")
 )
 
+// AUTO-selection instrumentation: how often this node's calibrated cost
+// model picked each strategy when serving estimate requests, and how often
+// persisting the calibration failed.
+var (
+	autoSelected = map[plan.Strategy]*metrics.Counter{
+		plan.FRA:    metrics.Default.Counter(`adr_node_auto_selected_total{strategy="FRA"}`),
+		plan.SRA:    metrics.Default.Counter(`adr_node_auto_selected_total{strategy="SRA"}`),
+		plan.DA:     metrics.Default.Counter(`adr_node_auto_selected_total{strategy="DA"}`),
+		plan.Hybrid: metrics.Default.Counter(`adr_node_auto_selected_total{strategy="HYBRID"}`),
+	}
+	calibSaveErrs = metrics.Default.Counter("adr_node_calibration_save_errors_total")
+)
+
 // Server is a running node daemon. Concurrent queries share the mesh
 // through an engine.Dispatcher, which demultiplexes traffic by the
 // front-end-assigned query id.
@@ -136,6 +156,7 @@ type Server struct {
 	scan     *engine.SharedScan
 	datasets map[string]*layout.Dataset
 	machine  plan.Machine
+	calib    *costmodel.Calibration
 	ctrl     net.Listener
 	queries  *metrics.QueryLog
 	// admit is the admission semaphore (nil when MaxQueries <= 0): a slot
@@ -187,6 +208,16 @@ func Start(cfg Config) (*Server, error) {
 		cache = layout.NewChunkCache(cfg.CacheBytes)
 		farm.WithCache(cache)
 	}
+	calib := &costmodel.Calibration{}
+	if cfg.CalibrationFile != "" {
+		calib, err = costmodel.LoadCalibration(cfg.CalibrationFile)
+		if err != nil {
+			mesh.Close()
+			ctrl.Close()
+			farm.Close()
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
 		mesh:     mesh,
@@ -194,6 +225,7 @@ func Start(cfg Config) (*Server, error) {
 		farm:     farm,
 		cache:    cache,
 		machine:  plan.Machine{Procs: m.Nodes, AccMemBytes: cfg.AccMemBytes},
+		calib:    calib,
 		ctrl:     ctrl,
 		queries:  metrics.NewQueryLog(metrics.Default, "adr_node"),
 		done:     make(chan struct{}),
@@ -305,6 +337,23 @@ func (s *Server) handle(conn net.Conn) {
 		w.Flush()
 	}
 
+	// Estimate requests: cost the spec under every fixed strategy with this
+	// node's calibrated model and reply with the selection — no mesh
+	// participation, no execution. Served ahead of admission control:
+	// planning four candidate plans is cheap relative to a query, and an
+	// AUTO resolver blocked behind a saturated admission queue could never
+	// resolve the query that would eventually occupy a slot.
+	if req.Estimate {
+		sel, err := s.estimate(&req.Spec)
+		if err != nil {
+			sendErr(err, false)
+			return
+		}
+		frontend.WriteJSON(w, &frontend.Message{Type: "estimate", Selection: sel})
+		w.Flush()
+		return
+	}
+
 	// Admission control: bounded concurrent queries; excess connections
 	// queue (the adr_node_admission_waiting gauge is the queue depth). The
 	// wait is bounded: a query spans every mesh node, so if overloaded
@@ -370,6 +419,48 @@ func (s *Server) handle(conn net.Conn) {
 	w.Flush()
 }
 
+// estimate plans the spec under every fixed strategy, prices each plan with
+// this node's calibrated cost model, and returns the selection (winner
+// first). The resolver stamps the winner into the spec it relays, so the
+// whole mesh executes the one strategy this node chose — per-node
+// calibrations differ, and letting each node pick independently would
+// diverge the mesh.
+func (s *Server) estimate(spec *frontend.QuerySpec) (*metrics.Selection, error) {
+	in, ok := s.datasets[spec.Input]
+	if !ok {
+		return nil, fmt.Errorf("backend: input dataset %q not in catalog", spec.Input)
+	}
+	out, ok := s.datasets[spec.Output]
+	if !ok {
+		return nil, fmt.Errorf("backend: output dataset %q not in catalog", spec.Output)
+	}
+	inBox, err := frontend.ParseBox(spec.InputBox)
+	if err != nil {
+		return nil, err
+	}
+	outBox, err := frontend.ParseBox(spec.OutputBox)
+	if err != nil {
+		return nil, err
+	}
+	workload, err := core.BuildWorkload(in, out, inBox, outBox, space.IdentityMapper{})
+	if err != nil {
+		return nil, err
+	}
+	m, costs := s.calib.Model(s.machine.Procs, s.farm.DisksPerNode)
+	_, ests, err := costmodel.Select(workload, s.machine, m, costs, nil)
+	if err != nil {
+		return nil, err
+	}
+	sel := costmodel.NewSelection(int(s.cfg.Node), ests)
+	if sel == nil {
+		return nil, fmt.Errorf("backend: no strategy estimates for %s->%s", spec.Input, spec.Output)
+	}
+	if ctr, ok := autoSelected[ests[0].Strategy]; ok {
+		ctr.Inc()
+	}
+	return sel, nil
+}
+
 // runQuery plans and executes the query on this node, streaming owned
 // output chunks to w.
 func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace metrics.NodeTrace, chunks int, err error) {
@@ -393,6 +484,13 @@ func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace met
 	strategy, err := spec.ParseStrategy()
 	if err != nil {
 		return trace, 0, err
+	}
+	if strategy == plan.Auto {
+		// Executing AUTO directly would let each node's own calibration pick
+		// a — possibly different — winner and diverge the mesh. The resolver
+		// (front-end or parallel client) must request estimates and relay
+		// the resolved strategy.
+		return trace, 0, fmt.Errorf("backend: strategy AUTO must be resolved by the client before execution (send an estimate request, then submit the chosen strategy)")
 	}
 	app, err := spec.App.Build()
 	if err != nil {
@@ -501,6 +599,16 @@ func (s *Server) runQuery(req *frontend.NodeRequest, w *bufio.Writer) (trace met
 	}
 	if trace.Degraded {
 		degradedQueries.Inc()
+	}
+	// Fold the measured execution into the calibration so the next estimate
+	// prices plans with live rates, and persist it if configured. A failed
+	// save must not fail the query — it is counted instead.
+	initOps, outOps := costmodel.PlanOps(p, int(s.cfg.Node))
+	s.calib.Observe(costmodel.Sample{Trace: trace, InitOps: initOps, OutputOps: outOps})
+	if s.cfg.CalibrationFile != "" {
+		if err := s.calib.Save(s.cfg.CalibrationFile); err != nil {
+			calibSaveErrs.Inc()
+		}
 	}
 	streamMu.Lock()
 	w.Flush()

@@ -13,8 +13,10 @@ import (
 	"time"
 
 	"adr/internal/chunk"
+	"adr/internal/costmodel"
 	"adr/internal/engine"
 	"adr/internal/layout"
+	"adr/internal/metrics"
 	"adr/internal/plan"
 	"adr/internal/rpc"
 	"adr/internal/space"
@@ -101,6 +103,11 @@ type Repository struct {
 	// scans, when non-nil, holds one shared-scan scheduler per in-process
 	// node; concurrent Execute calls join them so overlapping reads dedup.
 	scans []*engine.SharedScan
+	// calib learns the cost model's resource rates from every executed
+	// query, so AUTO-strategy queries are priced with live rates. In-process
+	// repositories keep it in memory only.
+	calib        *costmodel.Calibration
+	disksPerNode int
 
 	mu       sync.RWMutex
 	datasets map[string]*layout.Dataset
@@ -143,6 +150,9 @@ func NewRepository(opts Options) (*Repository, error) {
 		fwdWindow: opts.FwdWindowBytes,
 		fwdBudget: opts.FwdBudgetBytes,
 		datasets:  make(map[string]*layout.Dataset),
+
+		calib:        &costmodel.Calibration{},
+		disksPerNode: opts.DisksPerNode,
 	}
 	if opts.BatchWindow > 0 {
 		r.scans = make([]*engine.SharedScan, opts.Nodes)
@@ -255,6 +265,10 @@ type Result struct {
 	Workload *plan.Workload
 	// Report aggregates per-node execution metrics.
 	Report *engine.Report
+	// Selection records cost-model strategy selection for AUTO queries
+	// (chosen strategy, per-candidate predictions, predicted vs actual
+	// time); nil for fixed-strategy queries.
+	Selection *metrics.Selection
 }
 
 // resolveMapper picks the query's mapping function.
@@ -374,13 +388,28 @@ func (r *Repository) Execute(ctx context.Context, q *Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	planner, err := plan.NewPlanner(r.machine)
-	if err != nil {
-		return nil, err
-	}
-	p, err := planner.Plan(q.Strategy, w)
-	if err != nil {
-		return nil, err
+	var p *plan.Plan
+	var sel *metrics.Selection
+	if q.Strategy == plan.Auto {
+		// AUTO: price every fixed strategy with the calibrated model and
+		// execute the predicted-fastest plan. The in-process repository is
+		// its own resolver — one calibration, no mesh to diverge.
+		m, costs := r.calib.Model(r.machine.Procs, r.disksPerNode)
+		var ests []costmodel.Estimate
+		p, ests, err = costmodel.Select(w, r.machine, m, costs, nil)
+		if err != nil {
+			return nil, err
+		}
+		sel = costmodel.NewSelection(0, ests)
+	} else {
+		planner, err := plan.NewPlanner(r.machine)
+		if err != nil {
+			return nil, err
+		}
+		p, err = planner.Plan(q.Strategy, w)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	fabric, err := rpc.NewInprocFabricOpts(r.machine.Procs, rpc.InprocOptions{
@@ -451,5 +480,16 @@ func (r *Repository) Execute(ctx context.Context, q *Query) (*Result, error) {
 			return nil, fmt.Errorf("core: output position %d never emitted", pos)
 		}
 	}
-	return &Result{Chunks: results, Plan: p, Workload: w, Report: report}, nil
+	// Every executed query calibrates the model; AUTO queries additionally
+	// close the prediction loop with the slowest node's measured wall time.
+	var wall int64
+	for i := range report.Traces {
+		initOps, outOps := costmodel.PlanOps(p, i)
+		r.calib.Observe(costmodel.Sample{Trace: report.Traces[i], InitOps: initOps, OutputOps: outOps})
+		if report.Traces[i].WallNanos > wall {
+			wall = report.Traces[i].WallNanos
+		}
+	}
+	costmodel.RecordOutcome(sel, float64(wall)/1e9)
+	return &Result{Chunks: results, Plan: p, Workload: w, Report: report, Selection: sel}, nil
 }

@@ -207,11 +207,12 @@ func Predict(p *plan.Plan, w *plan.Workload, m simadr.Machine, c simadr.Costs) (
 
 // Select plans a workload under every candidate strategy, predicts each,
 // and returns the predicted-fastest plan together with all estimates
-// (sorted fastest first).
+// (sorted fastest first). A nil candidate list considers every fixed
+// strategy (plan.Strategies) — the live AUTO resolution path.
 func Select(w *plan.Workload, machine plan.Machine, m simadr.Machine, c simadr.Costs,
 	candidates []plan.Strategy) (*plan.Plan, []Estimate, error) {
 	if len(candidates) == 0 {
-		candidates = []plan.Strategy{plan.FRA, plan.SRA, plan.DA}
+		candidates = plan.Strategies
 	}
 	planner, err := plan.NewPlanner(machine)
 	if err != nil {

@@ -1,0 +1,50 @@
+package costmodel
+
+import (
+	"adr/internal/metrics"
+)
+
+// Selection-accuracy instrumentation: the distribution of predicted-over-
+// actual execution-time ratios across completed AUTO queries. Buckets
+// bracket 1.0 (perfect prediction); mass below 1 means the model is
+// optimistic, above 1 pessimistic.
+var predOverActual = metrics.Default.Histogram(
+	"adr_auto_predicted_over_actual_ratio",
+	[]float64{0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, 5, 10})
+
+// NewSelection converts Select's sorted estimates into the trace form: the
+// winner plus every candidate's prediction, attributed to the node whose
+// calibration priced them.
+func NewSelection(node int, ests []Estimate) *metrics.Selection {
+	if len(ests) == 0 {
+		return nil
+	}
+	sel := &metrics.Selection{
+		Strategy:     ests[0].Strategy.String(),
+		Node:         node,
+		PredictedSec: ests[0].ExecSec,
+		Estimates:    make([]metrics.StrategyEstimate, 0, len(ests)),
+	}
+	for _, e := range ests {
+		sel.Estimates = append(sel.Estimates, metrics.StrategyEstimate{
+			Strategy:     e.Strategy.String(),
+			PredictedSec: e.ExecSec,
+			CommBytes:    e.CommBytes,
+			Tiles:        e.Tiles,
+		})
+	}
+	return sel
+}
+
+// RecordOutcome finalizes a selection with the measured execution time and
+// feeds the predicted-over-actual ratio histogram. Nil selections and
+// non-positive measurements are ignored.
+func RecordOutcome(sel *metrics.Selection, actualSec float64) {
+	if sel == nil || actualSec <= 0 {
+		return
+	}
+	sel.ActualSec = actualSec
+	if sel.PredictedSec > 0 {
+		predOverActual.Observe(sel.PredictedSec / actualSec)
+	}
+}

@@ -439,11 +439,22 @@ func (n *node) readChunk(ctx context.Context, dataset string, m chunk.Meta) (dat
 		n.met.ReplicaFallbackReads.Add(1)
 	}
 	load := func() ([]byte, bool, error) {
+		start := time.Now()
+		var d []byte
+		var hit bool
+		var err error
 		if cr, ok := n.st.(CachedReader); ok {
-			return cr.ReadChunkCached(dataset, m)
+			d, hit, err = cr.ReadChunkCached(dataset, m)
+		} else {
+			d, err = n.st.ReadChunk(dataset, m)
 		}
-		d, err := n.st.ReadChunk(dataset, m)
-		return d, false, err
+		if err == nil && !hit {
+			// Time only the reads that actually hit storage: this ratio is
+			// the node's observed disk bandwidth (costmodel.Calibration).
+			n.met.DiskReadNanos.Add(time.Since(start).Nanoseconds())
+			n.met.DiskReadBytes.Add(int64(len(d)))
+		}
+		return d, hit, err
 	}
 	if n.scan == nil {
 		return load()
@@ -946,10 +957,13 @@ func (n *node) emit(out *chunk.Chunk) error {
 func (n *node) send(p metrics.Phase, m rpc.Message) error {
 	m.OnStall = n.onStall
 	m.Codec = byte(chunk.PayloadCodec(m.Payload))
+	bytes := int64(len(m.Payload))
+	start := time.Now()
 	if err := n.ep.Send(m); err != nil {
 		return fmt.Errorf("send %s to %d: %w", msgTypeName(uint8(m.Type)), m.Dst, err)
 	}
-	n.met.AddSent(p, int64(len(m.Payload)))
+	n.met.NetSendNanos.Add(time.Since(start).Nanoseconds())
+	n.met.AddSent(p, bytes)
 	return nil
 }
 

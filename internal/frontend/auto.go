@@ -1,0 +1,99 @@
+package frontend
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"adr/internal/metrics"
+	"adr/internal/plan"
+)
+
+// AUTO strategy resolution. A query submitted with strategy "AUTO" cannot be
+// resolved independently on each back-end node: every node must execute the
+// identical plan, but the calibrations pricing the candidates are per-node,
+// so two nodes could disagree on the winner and the mesh would diverge. The
+// resolver — the front-end, or a parallel client — therefore asks ONE node
+// for estimates (NodeRequest.Estimate), stamps the winning strategy into the
+// spec, and relays the resolved spec to every node; execution then plans
+// deterministically from the shared catalog exactly as fixed-strategy
+// queries do.
+
+// IsAuto reports whether the spec requests cost-model strategy selection.
+func (q *QuerySpec) IsAuto() bool {
+	s, err := q.ParseStrategy()
+	return err == nil && s == plan.Auto
+}
+
+// ResolveAuto asks the back-end nodes — first reachable wins — to cost spec
+// under every fixed strategy and returns the selection. The caller stamps
+// Selection.Strategy into the spec it executes. Timeouts follow the usual
+// convention (0 selects the default, negative disables).
+func ResolveAuto(addrs []string, spec *QuerySpec, dialTimeout, readTimeout time.Duration) (*metrics.Selection, error) {
+	var errs []error
+	for i, addr := range addrs {
+		sel, err := requestEstimate(addr, spec, dialTimeout, readTimeout)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("frontend: estimates from node %d at %s: %w", i, addr, err))
+			continue
+		}
+		return sel, nil
+	}
+	return nil, errors.Join(errs...)
+}
+
+// requestEstimate performs one estimate round-trip with a node.
+func requestEstimate(addr string, spec *QuerySpec, dialTimeout, readTimeout time.Duration) (*metrics.Selection, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeoutOrDefault(dialTimeout, DefaultDialTimeout))
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := WriteJSON(conn, &NodeRequest{Spec: *spec, Estimate: true}); err != nil {
+		return nil, err
+	}
+	if t := timeoutOrDefault(readTimeout, DefaultStreamTimeout); t > 0 {
+		conn.SetReadDeadline(time.Now().Add(t))
+	}
+	var msg Message
+	if err := ReadJSON(bufio.NewReader(conn), &msg); err != nil {
+		return nil, err
+	}
+	switch msg.Type {
+	case "estimate":
+		if msg.Selection == nil || msg.Selection.Strategy == "" {
+			return nil, fmt.Errorf("empty estimate frame")
+		}
+		return msg.Selection, nil
+	case "error":
+		return nil, queryErrFrom(-1, &msg)
+	default:
+		return nil, fmt.Errorf("unexpected frame %q to estimate request", msg.Type)
+	}
+}
+
+// resolvedSpec returns a copy of spec with the selection's strategy stamped
+// in, leaving the caller's spec (which may be retried or shared) untouched.
+func resolvedSpec(spec *QuerySpec, sel *metrics.Selection) *QuerySpec {
+	out := *spec
+	out.Strategy = sel.Strategy
+	return &out
+}
+
+// autoActualSec extracts the measured execution time of a merged query:
+// the slowest node's wall time (the live makespan), falling back to the
+// elapsed-time maximum when no traces came back.
+func autoActualSec(total *DoneStats) float64 {
+	var wall int64
+	for _, tr := range total.Traces {
+		if tr.WallNanos > wall {
+			wall = tr.WallNanos
+		}
+	}
+	if wall == 0 {
+		wall = total.ElapsedMS * 1e6
+	}
+	return float64(wall) / 1e9
+}

@@ -1,0 +1,41 @@
+package frontend
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBusyBackoffHighAttempts is the regression test for the shift
+// overflow: busyBackoff shifted busyRetryBase left by the raw attempt
+// number, so a client configured with a high -busy-retries reached attempts
+// where 50ms<<attempt overflowed int64 into a negative duration and
+// rand.Int63n panicked (attempts >= ~37), or saturated to zero sleep
+// (attempts >= 64). Every attempt must yield a positive, capped delay.
+func TestBusyBackoffHighAttempts(t *testing.T) {
+	for attempt := 0; attempt <= 128; attempt++ {
+		d := busyBackoff(attempt)
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive backoff %v", attempt, d)
+		}
+		if d > time.Second {
+			t.Fatalf("attempt %d: backoff %v above the 1s cap", attempt, d)
+		}
+	}
+}
+
+// TestBusyBackoffGrows: the clamp must not flatten the early schedule — the
+// backoff ceiling still doubles per attempt until it hits the cap.
+func TestBusyBackoffGrows(t *testing.T) {
+	for attempt := 0; attempt <= 5; attempt++ {
+		ceiling := busyRetryBase << uint(attempt)
+		if ceiling > time.Second {
+			ceiling = time.Second
+		}
+		for i := 0; i < 50; i++ {
+			d := busyBackoff(attempt)
+			if d < ceiling/2 || d > ceiling {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, ceiling/2, ceiling)
+			}
+		}
+	}
+}

@@ -9,6 +9,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"adr/internal/costmodel"
+	"adr/internal/metrics"
 )
 
 // ParallelClient is the parallel-client interface of Fig 2 (the role
@@ -124,6 +127,18 @@ func (c *ParallelClient) Query(spec *QuerySpec) ([]NodeStream, error) {
 }
 
 func (c *ParallelClient) queryOnce(spec *QuerySpec) ([]NodeStream, error) {
+	// AUTO queries: a parallel client is its own resolver (no front-end in
+	// the path) — ask one node for calibrated estimates, then submit the
+	// resolved spec to every node so the mesh plans identically.
+	var sel *metrics.Selection
+	if spec.IsAuto() {
+		var err error
+		sel, err = ResolveAuto(c.nodeAddrs, spec, c.DialTimeout, c.ReadTimeout)
+		if err != nil {
+			return nil, err
+		}
+		spec = resolvedSpec(spec, sel)
+	}
 	qid := c.nextID()
 	streams := make([]NodeStream, len(c.nodeAddrs))
 	var wg sync.WaitGroup
@@ -156,6 +171,23 @@ func (c *ParallelClient) queryOnce(spec *QuerySpec) ([]NodeStream, error) {
 	}
 	if len(errs) > 0 {
 		return streams, errors.Join(errs...)
+	}
+	if sel != nil {
+		// Close the prediction loop and surface the selection on every
+		// node's done stats, so any stream a parallel consumer holds names
+		// the choice.
+		var wall int64
+		for i := range streams {
+			if st := streams[i].Stats; st != nil && st.Trace != nil && st.Trace.WallNanos > wall {
+				wall = st.Trace.WallNanos
+			}
+		}
+		costmodel.RecordOutcome(sel, float64(wall)/1e9)
+		for i := range streams {
+			if streams[i].Stats != nil {
+				streams[i].Stats.Selection = sel
+			}
+		}
 	}
 	return streams, nil
 }

@@ -121,12 +121,18 @@ func (q *QuerySpec) ParseCodec() (chunk.Codec, bool, error) {
 type NodeRequest struct {
 	QueryID int32     `json:"query_id"`
 	Spec    QuerySpec `json:"spec"`
+	// Estimate asks the node to cost the query under every fixed strategy
+	// with its calibrated cost model and answer with a single "estimate"
+	// frame instead of executing — the first half of AUTO resolution. The
+	// resolver stamps the winning strategy into the spec it relays, so all
+	// executing nodes still plan identically from the shared catalog.
+	Estimate bool `json:"estimate,omitempty"`
 }
 
 // Message is one frame of the result stream (back-end -> front-end and
 // front-end -> client).
 type Message struct {
-	Type string `json:"type"` // "chunk" | "done" | "error"
+	Type string `json:"type"` // "chunk" | "done" | "error" | "estimate"
 	// Chunk, for type "chunk".
 	Chunk *ChunkJSON `json:"chunk,omitempty"`
 	// Error, for type "error".
@@ -137,6 +143,9 @@ type Message struct {
 	ErrInfo *ErrorInfo `json:"error_info,omitempty"`
 	// Stats, for type "done".
 	Stats *DoneStats `json:"stats,omitempty"`
+	// Selection, for type "estimate": the node's cost-model answer to an
+	// Estimate request (chosen strategy plus every candidate's prediction).
+	Selection *metrics.Selection `json:"selection,omitempty"`
 }
 
 // ErrorInfo is the structured half of an error frame.
@@ -221,11 +230,15 @@ type DoneStats struct {
 	Degraded bool  `json:"degraded,omitempty"`
 	Attempts int   `json:"attempts,omitempty"`
 	Excluded []int `json:"excluded,omitempty"`
+	// Selection, on the merged done frame of an AUTO query, records the
+	// cost-model strategy choice: which node priced the candidates, every
+	// estimate, and predicted vs. actual execution time.
+	Selection *metrics.Selection `json:"selection,omitempty"`
 }
 
 // QueryTrace converts the merged done frame's traces into a QueryTrace.
 func (s *DoneStats) QueryTrace(queryID int32) *metrics.QueryTrace {
-	return &metrics.QueryTrace{QueryID: queryID, Nodes: s.Traces}
+	return &metrics.QueryTrace{QueryID: queryID, Nodes: s.Traces, Selection: s.Selection}
 }
 
 // ToChunkJSON converts a finished chunk for the wire.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"adr/internal/chunk"
+	"adr/internal/costmodel"
 	"adr/internal/metrics"
 )
 
@@ -49,8 +50,15 @@ func timeoutOrDefault(d, def time.Duration) time.Duration {
 
 // busyBackoff returns the jittered delay before retry attempt (0-based):
 // exponential growth capped at one second, with the lower half randomized so
-// clients rejected together do not retry together.
+// clients rejected together do not retry together. The shift is clamped
+// BEFORE it is applied: 50ms << 37 already overflows int64 into a negative
+// duration (and shifts >= 64 wrap to zero), so a high -busy-retries count
+// used to panic in rand.Int63n once the attempt number grew past the cap.
 func busyBackoff(attempt int) time.Duration {
+	// 50ms << 5 = 1.6s, past the 1s cap; larger shifts can only saturate.
+	if attempt > 5 {
+		attempt = 5
+	}
 	d := busyRetryBase << uint(attempt)
 	if d > time.Second {
 		d = time.Second
@@ -208,14 +216,28 @@ func (s *Server) handleClient(conn net.Conn) {
 }
 
 // runQuery fans the query out to every back-end node and merges the result
-// streams into w, recording the query in the front-end's query log.
+// streams into w, recording the query in the front-end's query log. AUTO
+// queries are resolved first — one node's calibrated cost model picks the
+// strategy — so the spec every node receives names a fixed strategy and the
+// query-log detail names the choice (e.g. "sensor->composite/AUTO=DA").
 func (s *Server) runQuery(spec *QuerySpec, w *bufio.Writer) error {
 	if s.codec != "" && spec.Codec == "" {
 		spec.Codec = s.codec
 	}
+	detail := spec.Input + "->" + spec.Output + "/" + spec.Strategy
+	var sel *metrics.Selection
+	if spec.IsAuto() {
+		var err error
+		sel, err = ResolveAuto(s.NodeAddrs, spec, 0, 0)
+		if err != nil {
+			return err
+		}
+		spec = resolvedSpec(spec, sel)
+		detail = spec.Input + "->" + spec.Output + "/AUTO=" + spec.Strategy
+	}
 	id := s.queryID.Add(1)
-	rec := s.queries.Begin(id, spec.Input+"->"+spec.Output+"/"+spec.Strategy)
-	total, err := s.relayQuery(id, spec, w)
+	rec := s.queries.Begin(id, detail)
+	total, err := s.relayQuery(id, spec, sel, w)
 	var end metrics.EndStats
 	if total != nil {
 		end = metrics.EndStats{
@@ -230,8 +252,10 @@ func (s *Server) runQuery(spec *QuerySpec, w *bufio.Writer) error {
 }
 
 // relayQuery is the transport half of runQuery: fan out, merge, return the
-// aggregated stats (which may be partially filled when err != nil).
-func (s *Server) relayQuery(id int32, spec *QuerySpec, w *bufio.Writer) (*DoneStats, error) {
+// aggregated stats (which may be partially filled when err != nil). sel,
+// non-nil on resolved AUTO queries, is finalized with the measured
+// execution time and attached to the merged done frame.
+func (s *Server) relayQuery(id int32, spec *QuerySpec, sel *metrics.Selection, w *bufio.Writer) (*DoneStats, error) {
 	// Merge streams: forward chunk frames as they arrive, collect stats.
 	type nodeOutcome struct {
 		stats *DoneStats
@@ -362,6 +386,13 @@ func (s *Server) relayQuery(id int32, spec *QuerySpec, w *bufio.Writer) (*DoneSt
 		if st.Attempts > total.Attempts {
 			total.Attempts = st.Attempts
 		}
+	}
+	if sel != nil {
+		// Close the loop on the prediction: record how the chosen strategy
+		// actually ran (slowest node's wall time, the live makespan) and
+		// return the full selection with the merged stats.
+		costmodel.RecordOutcome(sel, autoActualSec(&total))
+		total.Selection = sel
 	}
 	wmu.Lock()
 	defer wmu.Unlock()

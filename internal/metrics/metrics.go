@@ -108,7 +108,18 @@ type Node struct {
 	// hard the receiver's consumption rate throttled this node.
 	CreditStalls     atomic.Int64
 	CreditStallNanos atomic.Int64
-	phaseNanos       [numPhases]atomic.Int64
+	// DiskReadNanos/DiskReadBytes time the chunk reads that actually hit
+	// this node's storage — cache hits and shared-scan waiter reads are
+	// excluded, unlike BytesRead, which counts every byte the engine
+	// consumed. Their ratio is the node's observed disk bandwidth, the
+	// signal costmodel.Calibration learns from.
+	DiskReadNanos atomic.Int64
+	DiskReadBytes atomic.Int64
+	// NetSendNanos times the engine's outbound mesh sends (including any
+	// flow-control stall inside them); with BytesSent it yields the node's
+	// observed effective link bandwidth for calibration.
+	NetSendNanos atomic.Int64
+	phaseNanos   [numPhases]atomic.Int64
 	// phaseIO attributes the traffic counters above to the phase that
 	// incurred them; AddRead/AddSent/AddRecv update totals and phase
 	// together, and Trace exports the per-phase view.
@@ -160,6 +171,9 @@ type Snapshot struct {
 	QueueWaitNanos       int64
 	CreditStalls         int64
 	CreditStallNanos     int64
+	DiskReadNanos        int64
+	DiskReadBytes        int64
+	NetSendNanos         int64
 	PhaseNanos           [4]int64
 }
 
@@ -184,6 +198,9 @@ func (n *Node) Snapshot() Snapshot {
 	s.QueueWaitNanos = n.QueueWaitNanos.Load()
 	s.CreditStalls = n.CreditStalls.Load()
 	s.CreditStallNanos = n.CreditStallNanos.Load()
+	s.DiskReadNanos = n.DiskReadNanos.Load()
+	s.DiskReadBytes = n.DiskReadBytes.Load()
+	s.NetSendNanos = n.NetSendNanos.Load()
 	for p := 0; p < int(numPhases); p++ {
 		s.PhaseNanos[p] = n.phaseNanos[p].Load()
 	}
@@ -210,6 +227,9 @@ func (s *Snapshot) Add(o Snapshot) {
 	s.QueueWaitNanos += o.QueueWaitNanos
 	s.CreditStalls += o.CreditStalls
 	s.CreditStallNanos += o.CreditStallNanos
+	s.DiskReadNanos += o.DiskReadNanos
+	s.DiskReadBytes += o.DiskReadBytes
+	s.NetSendNanos += o.NetSendNanos
 	for p := range s.PhaseNanos {
 		s.PhaseNanos[p] += o.PhaseNanos[p]
 	}

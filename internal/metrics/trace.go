@@ -45,11 +45,42 @@ type NodeTrace struct {
 	Excluded []int `json:"excluded,omitempty"`
 }
 
+// StrategyEstimate is the cost model's prediction for one candidate
+// strategy, as reported through a query trace.
+type StrategyEstimate struct {
+	Strategy     string  `json:"strategy"`
+	PredictedSec float64 `json:"predicted_sec"`
+	// CommBytes is the predicted per-node maximum communication volume.
+	CommBytes int64 `json:"comm_bytes,omitempty"`
+	Tiles     int   `json:"tiles,omitempty"`
+}
+
+// Selection records how an AUTO query's strategy was chosen: which node's
+// calibrated cost model produced the estimates, what every candidate was
+// predicted to cost, and — once the query finishes — how the prediction
+// compared to reality.
+type Selection struct {
+	// Strategy is the chosen (cheapest-predicted) strategy.
+	Strategy string `json:"strategy"`
+	// Node served the estimates (its calibration priced the candidates).
+	Node int `json:"node"`
+	// PredictedSec is the chosen strategy's predicted execution time.
+	PredictedSec float64 `json:"predicted_sec"`
+	// ActualSec is the measured execution time (slowest node), filled in
+	// after the query completes; 0 while in flight.
+	ActualSec float64 `json:"actual_sec,omitempty"`
+	// Estimates lists every candidate's prediction, fastest first.
+	Estimates []StrategyEstimate `json:"estimates,omitempty"`
+}
+
 // QueryTrace is the per-node, per-phase trace of one query's execution
 // across the parallel back-end.
 type QueryTrace struct {
 	QueryID int32       `json:"query_id"`
 	Nodes   []NodeTrace `json:"nodes"`
+	// Selection, on AUTO queries, records the cost-model strategy choice
+	// with its per-candidate estimates and predicted-vs-actual time.
+	Selection *Selection `json:"selection,omitempty"`
 }
 
 // Total sums the per-node totals.
@@ -78,6 +109,10 @@ func (t *QueryTrace) MaxWall() time.Duration {
 func (t *QueryTrace) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "query %d: %d nodes, wall %.1fms\n", t.QueryID, len(t.Nodes), float64(t.MaxWall())/1e6)
+	if s := t.Selection; s != nil {
+		fmt.Fprintf(&b, "auto: chose %s (predicted %.3fs, actual %.3fs, node %d's model)\n",
+			s.Strategy, s.PredictedSec, s.ActualSec, s.Node)
+	}
 	fmt.Fprintf(&b, "%-5s %8s %8s %8s %8s %10s %10s %10s\n",
 		"node", "I ms", "LR ms", "GC ms", "OH ms", "read B", "sent B", "recv B")
 	for _, n := range t.Nodes {

@@ -29,6 +29,7 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"adr/internal/chunk"
 	"adr/internal/hilbert"
@@ -47,6 +48,12 @@ const (
 	DA
 	// Hybrid is the graph-partitioned strategy sketched in §6.
 	Hybrid
+	// Auto defers the choice to the cost model (§6: "guide and automate the
+	// selection of an appropriate strategy"): the query is planned under
+	// every fixed strategy, each plan is costed, and the cheapest executes.
+	// Auto is a request, not a plan — it must be resolved to a fixed
+	// strategy (costmodel.Select) before Planner.Plan.
+	Auto
 )
 
 // String returns the strategy's paper abbreviation.
@@ -60,14 +67,17 @@ func (s Strategy) String() string {
 		return "DA"
 	case Hybrid:
 		return "HYBRID"
+	case Auto:
+		return "AUTO"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
 }
 
-// ParseStrategy parses a paper abbreviation (case-sensitive).
+// ParseStrategy parses a strategy name, case-insensitively ("fra" and "FRA"
+// both select FRA).
 func ParseStrategy(s string) (Strategy, error) {
-	switch s {
+	switch strings.ToUpper(s) {
 	case "FRA":
 		return FRA, nil
 	case "SRA":
@@ -76,8 +86,10 @@ func ParseStrategy(s string) (Strategy, error) {
 		return DA, nil
 	case "HYBRID":
 		return Hybrid, nil
+	case "AUTO":
+		return Auto, nil
 	}
-	return 0, fmt.Errorf("plan: unknown strategy %q", s)
+	return 0, fmt.Errorf("plan: unknown strategy %q (valid: FRA, SRA, DA, HYBRID, AUTO)", s)
 }
 
 // Strategies lists all implemented strategies in paper order.
@@ -251,6 +263,8 @@ func (pl *Planner) Plan(s Strategy, w *Workload) (*Plan, error) {
 		return pl.planDA(w, order)
 	case Hybrid:
 		return pl.planHybrid(w, order)
+	case Auto:
+		return nil, fmt.Errorf("plan: AUTO is not a plannable strategy; resolve it to a fixed strategy first (costmodel.Select)")
 	default:
 		return nil, fmt.Errorf("plan: unknown strategy %v", s)
 	}

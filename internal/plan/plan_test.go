@@ -2,6 +2,7 @@ package plan
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -121,6 +122,56 @@ func TestStrategyString(t *testing.T) {
 	}
 	if Strategy(99).String() == "" {
 		t.Error("unknown strategy should still render")
+	}
+}
+
+// TestParseStrategyCaseInsensitive: adr-query -strategy fra used to fail
+// because ParseStrategy matched exact upper-case names only.
+func TestParseStrategyCaseInsensitive(t *testing.T) {
+	cases := map[string]Strategy{
+		"fra": FRA, "Fra": FRA, "FRA": FRA,
+		"sra": SRA, "da": DA,
+		"hybrid": Hybrid, "Hybrid": Hybrid,
+		"auto": Auto, "AUTO": Auto, "Auto": Auto,
+	}
+	for in, want := range cases {
+		got, err := ParseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	// The error must teach the caller the valid names.
+	_, err := ParseStrategy("nope")
+	if err == nil {
+		t.Fatal("ParseStrategy accepted junk")
+	}
+	for _, name := range []string{"FRA", "SRA", "DA", "HYBRID", "AUTO"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not enumerate %s", err, name)
+		}
+	}
+}
+
+// TestPlanRejectsAuto: AUTO is a request for cost-model selection, never a
+// plannable strategy — the planner must refuse it rather than fall through
+// to an arbitrary default.
+func TestPlanRejectsAuto(t *testing.T) {
+	pl, err := NewPlanner(Machine{Procs: 2, AccMemBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &Workload{
+		Inputs:  []chunk.Meta{{Bytes: 1}},
+		Outputs: []chunk.Meta{{Bytes: 1}},
+		Targets: [][]int32{{0}},
+	}
+	if _, err := pl.Plan(Auto, w); err == nil {
+		t.Fatal("planner accepted AUTO")
+	}
+	for _, s := range Strategies {
+		if s == Auto {
+			t.Fatal("Strategies must list only plannable (fixed) strategies")
+		}
 	}
 }
 
